@@ -1,0 +1,91 @@
+"""Figure 15 (Appendix F): PolySI-List performance.
+
+The same six sweep axes as Figure 6, on Elle-style list-append workloads.
+The paper's qualitative result: checking stays around a second across all
+configurations — observed list prefixes pin the version order, so almost
+nothing is left for the solver.
+"""
+
+import functools
+
+import pytest
+
+from _common import AXES, BASE, scaled
+from repro.bench.harness import Sweep, render_series
+from repro.listappend import ListAppendChecker, generate_list_history
+from repro.workloads.generator import WorkloadParams
+
+
+@functools.lru_cache(maxsize=None)
+def list_history_for(seed: int = 1, **overrides):
+    config = dict(BASE)
+    config.update(overrides)
+    params = WorkloadParams(**config)
+    return generate_list_history(params, seed=seed)
+
+
+def check(history) -> bool:
+    return ListAppendChecker().check(history).satisfies_si
+
+
+AXIS_IDS = {
+    "sessions": "fig15a",
+    "txns_per_session": "fig15b",
+    "ops_per_txn": "fig15c",
+    "read_proportion": "fig15d",
+    "keys": "fig15e",
+    "distribution": "fig15f",
+}
+
+
+def _points():
+    for axis, values in AXES.items():
+        for value in values:
+            yield pytest.param(
+                axis, value, id=f"{AXIS_IDS[axis]}-{axis}={value}"
+            )
+
+
+@pytest.mark.parametrize("axis,value", list(_points()))
+def test_fig15(benchmark, axis, value):
+    history = list_history_for(**{axis: value})
+    verdict = benchmark.pedantic(
+        check, args=(history,), rounds=1, iterations=1
+    )
+    assert verdict
+
+
+def test_list_checker_faster_than_register_checker():
+    """The point of PolySI-List: inference beats constraint solving on the
+    same workload shape."""
+    from repro.bench.harness import measure
+    from repro.core.checker import PolySIChecker
+    from repro.listappend.infer import register_view
+    from repro.workloads.generator import generate_history
+
+    config = dict(BASE)
+    config["read_proportion"] = 0.3  # write-heavy: many constraints
+    params = WorkloadParams(**config)
+    list_history = generate_list_history(params, seed=4)
+    register_run = generate_history(params, seed=4)
+
+    list_time = measure(check, list_history).seconds
+    register_time = measure(
+        PolySIChecker().check, register_run.history
+    ).seconds
+    # The list checker must not be slower; usually it is much faster.
+    assert list_time <= register_time * 1.5
+
+
+def main():
+    for axis, values in AXES.items():
+        sweep = Sweep("PolySI-List")
+        for value in values:
+            history = list_history_for(**{axis: value})
+            sweep.run(value, check, history)
+        print(f"\nFigure 15 ({AXIS_IDS[axis][-1]}): PolySI-List time (s) vs {axis}")
+        print(render_series(axis, values, [sweep]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Figure 9: decomposition of PolySI's checking time into stages.
+
+Construct / prune / encode / solve per benchmark workload.  The paper's
+qualitative results: construction is cheap; pruning cost is fairly
+constant across workloads; encoding is moderate (higher for TPC-C, which
+has several times more operations); solving depends on what survives
+pruning (negligible for TPC-C/RUBiS/C-Twitter/GeneralRH).
+"""
+
+import pytest
+
+from _common import WORKLOAD_NAMES, workload_history
+from repro.bench.harness import render_table
+from repro.core.checker import PolySIChecker
+
+STAGES = ("construct", "prune", "encode", "solve")
+
+
+def stage_times(workload: str) -> dict:
+    history = workload_history(workload)
+    result = PolySIChecker().check(history)
+    assert result.satisfies_si
+    return {stage: result.timings.get(stage, 0.0) for stage in STAGES}
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_fig9_stages(benchmark, workload):
+    workload_history(workload)  # warm cache
+    timings = benchmark.pedantic(stage_times, args=(workload,),
+                                 rounds=1, iterations=1)
+    for stage, seconds in timings.items():
+        benchmark.extra_info[stage] = round(seconds, 4)
+
+
+def main():
+    rows = []
+    for workload in WORKLOAD_NAMES:
+        timings = stage_times(workload)
+        rows.append(
+            [workload] + [f"{timings[stage]:.3f}" for stage in STAGES]
+            + [f"{sum(timings.values()):.3f}"]
+        )
+    print("\nFigure 9: PolySI stage decomposition (seconds)")
+    print(render_table(["workload", *STAGES, "total"], rows))
+
+
+if __name__ == "__main__":
+    main()

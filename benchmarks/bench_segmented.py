@@ -1,0 +1,91 @@
+"""Extension bench: segmented checking for long histories (Section 6).
+
+The paper sketches snapshot-based history segmentation as future work;
+``repro.extensions.segmented`` implements it.  This bench quantifies the
+claim that motivated the sketch: with periodic snapshots, checking cost
+scales with *segment* length instead of total history length.
+
+Sweeps total history length with a fixed segment size and compares
+whole-history checking against segmented checking; the gap should widen
+with history length.
+"""
+
+import functools
+
+import pytest
+
+from _common import scaled
+from repro.bench.harness import Sweep, render_series
+from repro.core.checker import PolySIChecker
+from repro.extensions import check_segmented, run_segmented_workload
+from repro.storage.database import MVCCDatabase
+from repro.workloads.generator import WorkloadParams, generate_workload
+
+TXNS_PER_SESSION = [scaled(30), scaled(60), scaled(120)]
+SESSIONS = scaled(6)
+SNAPSHOT_EVERY = scaled(40)
+
+
+@functools.lru_cache(maxsize=None)
+def segmented_run(txns_per_session: int, seed: int = 1):
+    params = WorkloadParams(
+        sessions=SESSIONS,
+        txns_per_session=txns_per_session,
+        ops_per_txn=scaled(6),
+        keys=scaled(200),
+        distribution="zipfian",
+    )
+    spec = generate_workload(params, seed=seed)
+    db = MVCCDatabase(seed=seed)
+    return run_segmented_workload(
+        db, spec, snapshot_every=SNAPSHOT_EVERY, seed=seed
+    )
+
+
+@pytest.mark.parametrize("txns", TXNS_PER_SESSION)
+def test_segmented_checking(benchmark, txns):
+    run = segmented_run(txns)
+    result = benchmark.pedantic(
+        check_segmented, args=(run,), rounds=1, iterations=1
+    )
+    assert result.satisfies_si
+    benchmark.extra_info["segments"] = len(run.segments)
+
+
+@pytest.mark.parametrize("txns", TXNS_PER_SESSION)
+def test_whole_history_checking(benchmark, txns):
+    run = segmented_run(txns)
+    history = run.full_history()
+    checker = PolySIChecker()
+    result = benchmark.pedantic(
+        checker.check, args=(history,), rounds=1, iterations=1
+    )
+    assert result.satisfies_si
+
+
+def test_segmented_wins_on_long_histories():
+    from repro.bench.harness import measure
+
+    run = segmented_run(TXNS_PER_SESSION[-1])
+    seg = measure(check_segmented, run)
+    whole = measure(PolySIChecker().check, run.full_history())
+    assert seg.result.satisfies_si and whole.result.satisfies_si
+    assert seg.seconds < whole.seconds
+
+
+def main():
+    seg_sweep = Sweep("segmented")
+    whole_sweep = Sweep("whole-history")
+    for txns in TXNS_PER_SESSION:
+        run = segmented_run(txns)
+        seg_sweep.run(txns, check_segmented, run)
+        whole_sweep.run(txns, PolySIChecker().check, run.full_history())
+    print(f"\nSection 6 extension: segmented vs whole-history checking "
+          f"(snapshot every {SNAPSHOT_EVERY} commits)")
+    print(render_series(
+        "txns/session", TXNS_PER_SESSION, [whole_sweep, seg_sweep]
+    ))
+
+
+if __name__ == "__main__":
+    main()

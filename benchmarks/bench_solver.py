@@ -1,0 +1,114 @@
+"""Micro-benchmarks for the solver substrate (the MonoSAT substitute) and
+the reachability kernels used by pruning.
+
+Not a paper figure, but the ablation data behind two engineering choices
+DESIGN.md calls out: the Pearce-Kelly dynamic topological order in the
+acyclicity theory, and the SCC-condensed bitset closure versus the naive
+and numpy kernels.
+"""
+
+import random
+
+import pytest
+
+from repro.solver.cdcl import CDCLSolver
+from repro.solver.monosat import AcyclicGraphSolver
+from repro.utils.reachability import (
+    transitive_closure_bits,
+    transitive_closure_numpy,
+    transitive_closure_sets,
+)
+
+
+def random_3sat(num_vars: int, num_clauses: int, seed: int):
+    rng = random.Random(seed)
+    return [
+        [rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(3)]
+        for _ in range(num_clauses)
+    ]
+
+
+def solve_cnf(num_vars, clauses) -> bool:
+    solver = CDCLSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(list(clause))
+    return solver.solve()
+
+
+@pytest.mark.parametrize("ratio", [3.0, 4.26, 5.0], ids=["easy-sat", "phase-transition", "easy-unsat"])
+def test_cdcl_random_3sat(benchmark, ratio):
+    num_vars = 60
+    clauses = random_3sat(num_vars, int(num_vars * ratio), seed=7)
+    benchmark.pedantic(
+        solve_cnf, args=(num_vars, clauses), rounds=3, iterations=1
+    )
+
+
+def build_layered_dag(layers: int, width: int, seed: int):
+    """A layered DAG: the shape of known induced graphs."""
+    rng = random.Random(seed)
+    n = layers * width
+    edges = []
+    for layer in range(layers - 1):
+        for i in range(width):
+            u = layer * width + i
+            for _ in range(3):
+                edges.append((u, (layer + 1) * width + rng.randrange(width)))
+    return n, edges
+
+
+def test_acyclicity_theory_insert_heavy(benchmark):
+    """Forcing hundreds of edges through the theory: the PolySI solve-stage
+    hot path."""
+    n, edges = build_layered_dag(20, 25, seed=3)
+
+    def run():
+        solver = AcyclicGraphSolver(n)
+        for (u, v) in edges:
+            var = solver.new_var()
+            solver.add_edge(var, u, v)
+            solver.add_clause([var])
+        assert solver.solve()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_acyclicity_theory_with_static_substrate(benchmark):
+    """Same edges as permanent substrate + a handful of variable edges:
+    the post-pruning configuration."""
+    n, edges = build_layered_dag(20, 25, seed=3)
+    static_adj = [[] for _ in range(n)]
+    for u, v in edges:
+        static_adj[u].append(v)
+    rng = random.Random(5)
+    var_edges = [
+        (rng.randrange(n // 2), n // 2 + rng.randrange(n // 2))
+        for _ in range(60)
+    ]
+
+    def run():
+        solver = AcyclicGraphSolver(n, static_adj=static_adj)
+        for (u, v) in var_edges:
+            var = solver.new_var()
+            solver.add_edge(var, u, v)
+            solver.add_clause([var])
+        assert solver.solve()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+KERNELS = {
+    "bits": transitive_closure_bits,
+    "sets": transitive_closure_sets,
+    "numpy": transitive_closure_numpy,
+}
+
+
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_closure_kernels(benchmark, kernel):
+    n, edges = build_layered_dag(15, 20, seed=9)
+    adj = [[] for _ in range(n)]
+    for u, v in edges:
+        adj[u].append(v)
+    benchmark.pedantic(KERNELS[kernel], args=(n, adj), rounds=3, iterations=1)

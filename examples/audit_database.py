@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Black-box auditing of a (buggy) database — the paper's core use case.
+
+Runs the same generated workload against four database configurations:
+
+1. the correct snapshot-isolation store,
+2. a store whose first-committer-wins check is disabled (the
+   MariaDB-Galera bug class: lost updates),
+3. a store handing out stale session snapshots (the Dgraph/YugabyteDB
+   bug class: causality violations),
+4. an asynchronously-replicated pair of stores (long forks).
+
+For each, PolySI checks the recorded client-observable history and — on
+violation — prints the interpreted root cause and a Graphviz DOT
+counterexample.
+
+Run:  python examples/audit_database.py
+"""
+
+from repro import check_snapshot_isolation
+from repro.interpret import interpret_violation
+from repro.storage.client import run_workload
+from repro.storage.database import MVCCDatabase
+from repro.storage.faults import FaultConfig
+from repro.workloads.generator import WorkloadParams, generate_workload
+
+CONFIGS = {
+    "correct SI store": FaultConfig(),
+    "no write-conflict detection (Galera bug class)": FaultConfig(
+        no_first_committer_wins=True
+    ),
+    "stale session snapshots (Dgraph bug class)": FaultConfig(
+        stale_snapshot_prob=0.3, stale_snapshot_depth=5
+    ),
+    "async replication (long-fork class)": FaultConfig(
+        replicas=2, replication_delay=4
+    ),
+}
+
+PARAMS = WorkloadParams(
+    sessions=6,
+    txns_per_session=10,
+    ops_per_txn=5,
+    keys=8,
+    read_proportion=0.5,
+    distribution="uniform",
+)
+MAX_RUNS = 25
+
+
+def audit(name: str, faults: FaultConfig) -> None:
+    print(f"\n=== auditing: {name} ===")
+    for seed in range(MAX_RUNS):
+        spec = generate_workload(PARAMS, seed=seed)
+        db = MVCCDatabase(faults=faults, seed=seed)
+        run = run_workload(db, spec, seed=seed)
+        result = check_snapshot_isolation(run.history)
+        if not result.satisfies_si:
+            example = interpret_violation(result)
+            print(f"violation after {seed + 1} run(s): "
+                  f"{example.classification}")
+            print(example.describe())
+            dot_path = f"/tmp/counterexample_{seed}.dot"
+            with open(dot_path, "w", encoding="utf-8") as handle:
+                handle.write(example.to_dot())
+            print(f"(DOT counterexample written to {dot_path})")
+            return
+    print(f"no violation in {MAX_RUNS} runs "
+          "(expected for the correct store)")
+
+
+def main() -> None:
+    for name, faults in CONFIGS.items():
+        audit(name, faults)
+
+
+if __name__ == "__main__":
+    main()

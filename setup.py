@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP
+517 editable installs are unavailable; this shim enables
+``pip install -e . --no-use-pep517``.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

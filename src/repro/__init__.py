@@ -1,0 +1,49 @@
+"""PolySI reproduction: black-box checking of snapshot isolation.
+
+Reimplementation of "Efficient Black-box Checking of Snapshot Isolation
+in Databases" (PVLDB 16(6), 2023).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the reproduced evaluation.
+
+Quickstart::
+
+    from repro import HistoryBuilder, R, W, check_snapshot_isolation
+
+    b = HistoryBuilder()
+    b.txn(0, [W("x", 1), W("y", 1)])
+    b.txn(1, [R("x", 1), W("x", 2)])
+    result = check_snapshot_isolation(b.build())
+    assert result.satisfies_si
+"""
+
+from .core import (
+    ABORTED,
+    COMMITTED,
+    INITIAL_VALUE,
+    CheckResult,
+    History,
+    HistoryBuilder,
+    Operation,
+    PolySIChecker,
+    R,
+    Transaction,
+    W,
+    check_snapshot_isolation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABORTED",
+    "COMMITTED",
+    "INITIAL_VALUE",
+    "CheckResult",
+    "History",
+    "HistoryBuilder",
+    "Operation",
+    "PolySIChecker",
+    "R",
+    "Transaction",
+    "W",
+    "check_snapshot_isolation",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Competing checkers: brute-force oracles, Cobra, CobraSI, dbcop."""
+
+from .naive import OracleTooLarge, naive_check_ser, naive_check_si
+from .reduction import split_history
+from .cobra import CobraChecker, SerCheckResult
+from .cobrasi import CobraSIChecker, CobraSIResult
+from .dbcop import DbcopBudgetExceeded, DbcopChecker, DbcopResult
+
+__all__ = [
+    "OracleTooLarge",
+    "naive_check_ser",
+    "naive_check_si",
+    "split_history",
+    "CobraChecker",
+    "SerCheckResult",
+    "CobraSIChecker",
+    "CobraSIResult",
+    "DbcopBudgetExceeded",
+    "DbcopChecker",
+    "DbcopResult",
+]

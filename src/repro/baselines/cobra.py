@@ -1,0 +1,257 @@
+"""Cobra-style serializability checker (the baseline of Section 5.4).
+
+Cobra [44] checks *serializability* by encoding the polygraph of a
+history into MonoSAT and asking for an acyclic super-graph.  The
+structure mirrors PolySI but is simpler in two ways:
+
+- the violation condition is *any* cycle over SO/WR/WW/RW edges (no
+  Dep;RW composition, no adjacent-RW exemption), so the encoding needs no
+  induced-graph variables — every constraint edge is a graph edge;
+- pruning uses plain reachability over all known edges (Cobra's
+  "coalescing + pruning" pass): a branch is impossible when one of its
+  edges closes a known cycle.
+
+Cobra accelerates its reachability matrices on a GPU; the substitution
+(DESIGN.md, 3) maps ``gpu=True`` to our fastest closure kernel
+(SCC-condensed bitsets) and ``gpu=False`` to a naive per-node set-based
+closure — the same algorithmic role and the same relative effect, a large
+constant-factor gap.  Cobra's read-modify-write inference falls out of
+pruning: an RMW transaction's WW predecessor is fixed by its WR edge, so
+the opposite branch is pruned immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.axioms import check_axioms
+from ..core.history import History
+from ..core.polygraph import (
+    Edge,
+    GeneralizedPolygraph,
+    RW,
+    build_polygraph,
+)
+from ..solver.monosat import AcyclicGraphSolver
+from ..utils.reachability import (
+    is_acyclic,
+    transitive_closure_bits,
+    transitive_closure_sets,
+)
+
+__all__ = ["CobraChecker", "SerCheckResult"]
+
+
+class SerCheckResult:
+    """Verdict of a serializability check."""
+
+    def __init__(self) -> None:
+        self.serializable: bool = True
+        self.anomalies: list = []
+        self.cycle: Optional[List[Edge]] = None
+        self.decided_by: str = "trivial"
+        self.timings: Dict[str, float] = {}
+        self.polygraph: Optional[GeneralizedPolygraph] = None
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    def __repr__(self) -> str:
+        verdict = "SER" if self.serializable else f"VIOLATION({self.decided_by})"
+        return f"SerCheckResult({verdict})"
+
+
+def _known_pair_adjacency(graph: GeneralizedPolygraph) -> List[Set[int]]:
+    adj: List[Set[int]] = [set() for _ in range(graph.num_vertices)]
+    for u, v, _label, _key in graph.known_edges:
+        adj[u].add(v)
+    return adj
+
+
+def _find_plain_cycle(graph: GeneralizedPolygraph,
+                      extra: List[Edge]) -> Optional[List[Edge]]:
+    """Shortest plain cycle (all edge types equal) in known+extra edges."""
+    adj: Dict[int, List[Edge]] = {}
+    for edge in list(graph.known_edges) + list(extra):
+        adj.setdefault(edge[0], []).append(edge)
+    from collections import deque
+
+    best: Optional[List[Edge]] = None
+    for start in list(adj):
+        parents: Dict[int, Edge] = {}
+        queue = deque([start])
+        found: Optional[List[Edge]] = None
+        while queue and found is None:
+            node = queue.popleft()
+            for edge in adj.get(node, ()):
+                nxt = edge[1]
+                if nxt == start:
+                    cycle = [edge]
+                    cur = node
+                    while cur != start:
+                        prev_edge = parents[cur]
+                        cycle.append(prev_edge)
+                        cur = prev_edge[0]
+                    cycle.reverse()
+                    found = cycle
+                    break
+                if nxt not in parents:
+                    parents[nxt] = edge
+                    queue.append(nxt)
+        if found and (best is None or len(found) < len(best)):
+            best = found
+    return best
+
+
+class CobraChecker:
+    """Black-box serializability checker in the style of Cobra.
+
+    Parameters
+    ----------
+    gpu:
+        Use the accelerated reachability kernel (bitsets; the stand-in
+        for Cobra's GPU) instead of the naive set-based closure.
+    prune:
+        Enable the pruning pass.
+    max_prune_iterations:
+        Bound on pruning rounds.  Cobra performs one coalescing +
+        pruning pass before encoding (unbounded fixpoint iteration is
+        PolySI's refinement), so the faithful baseline uses 1; None
+        iterates to fixpoint.
+    """
+
+    def __init__(self, *, gpu: bool = False, prune: bool = True,
+                 max_prune_iterations: int | None = 1):
+        self.closure: Callable = (
+            transitive_closure_bits if gpu else transitive_closure_sets
+        )
+        self.prune = prune
+        self.max_prune_iterations = max_prune_iterations
+
+    def check(self, history: History) -> SerCheckResult:
+        """Decide (strong session) serializability for ``history``."""
+        result = SerCheckResult()
+
+        t0 = time.perf_counter()
+        anomalies = check_axioms(history)
+        result.timings["axioms"] = time.perf_counter() - t0
+        if anomalies:
+            result.serializable = False
+            result.anomalies = anomalies
+            result.decided_by = "axioms"
+            return result
+
+        t0 = time.perf_counter()
+        graph, construction_anomalies = build_polygraph(history)
+        result.timings["construct"] = time.perf_counter() - t0
+        result.polygraph = graph.copy()
+        if construction_anomalies:
+            result.serializable = False
+            result.anomalies = construction_anomalies
+            result.decided_by = "axioms"
+            return result
+
+        if self.prune:
+            t0 = time.perf_counter()
+            ok = self._prune(graph, result)
+            result.timings["prune"] = time.perf_counter() - t0
+            if not ok:
+                result.serializable = False
+                result.decided_by = "pruning"
+                return result
+
+        t0 = time.perf_counter()
+        verdict, cycle = self._encode_and_solve(graph)
+        result.timings["solve"] = time.perf_counter() - t0
+        result.decided_by = "solving"
+        result.serializable = verdict
+        result.cycle = cycle
+        return result
+
+    # -- pruning -----------------------------------------------------------------
+
+    def _prune(self, graph: GeneralizedPolygraph, result: SerCheckResult) -> bool:
+        """Reachability pruning over all known edges; returns False on a
+        constraint with both branches impossible."""
+        iterations = 0
+        while True:
+            iterations += 1
+            adj = _known_pair_adjacency(graph)
+            reach = self.closure(graph.num_vertices, [list(r) for r in adj])
+
+            def impossible(edges) -> bool:
+                for src, dst, _label, _key in edges:
+                    if reach.has(dst, src):
+                        return True
+                return False
+
+            remaining = []
+            changed = False
+            for cons in graph.constraints:
+                either_bad = impossible(cons.either)
+                orelse_bad = impossible(cons.orelse)
+                if either_bad and orelse_bad:
+                    result.cycle = _find_plain_cycle(graph, list(cons.either))
+                    return False
+                if either_bad:
+                    graph.add_known_many(cons.orelse)
+                    changed = True
+                elif orelse_bad:
+                    graph.add_known_many(cons.either)
+                    changed = True
+                else:
+                    remaining.append(cons)
+            graph.constraints = remaining
+            if not changed:
+                return True
+            if (
+                self.max_prune_iterations is not None
+                and iterations >= self.max_prune_iterations
+            ):
+                return True
+
+    # -- encoding + solving ----------------------------------------------------------
+
+    def _encode_and_solve(
+        self, graph: GeneralizedPolygraph
+    ) -> Tuple[bool, Optional[List[Edge]]]:
+        n = graph.num_vertices
+        adj = _known_pair_adjacency(graph)
+        adj_lists = [list(r) for r in adj]
+        if not is_acyclic(n, adj_lists):
+            return False, _find_plain_cycle(graph, [])
+
+        solver = AcyclicGraphSolver(n, static_adj=adj_lists)
+        pair_var: Dict[Tuple[int, int], int] = {}
+
+        def var_for(edge: Edge) -> int:
+            pair = (edge[0], edge[1])
+            var = pair_var.get(pair)
+            if var is None:
+                var = solver.new_var()
+                pair_var[pair] = var
+                if pair[1] not in adj[pair[0]]:
+                    solver.add_edge(var, pair[0], pair[1])
+                # else: the pair is already a permanent known edge.
+            return var
+
+        choice_vars = []
+        for cons in graph.constraints:
+            cvar = solver.new_var()
+            choice_vars.append(cvar)
+            for edge in cons.either:
+                solver.add_clause([-cvar, var_for(edge)])
+            for edge in cons.orelse:
+                solver.add_clause([cvar, var_for(edge)])
+
+        if solver.solve():
+            return True, None
+
+        plain = solver.solve_without_acyclicity()
+        resolved: List[Edge] = []
+        for cons, cvar in zip(graph.constraints, choice_vars):
+            branch = cons.either if plain.model_value(cvar) else cons.orelse
+            resolved.extend(branch)
+        return False, _find_plain_cycle(graph, resolved)

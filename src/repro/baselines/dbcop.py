@@ -1,0 +1,224 @@
+"""dbcop-style SI checker: explicit search, no constraint solver [7].
+
+dbcop decides serializability by searching over *frontiers* — one
+position per session — scheduling one transaction at a time and requiring
+every external read to observe the current last write of its key.  With
+``c`` sessions the frontier space is O(n^c): polynomial for fixed ``c``
+but exploding with concurrency, which is exactly the behaviour the
+paper's Figure 6 shows for dbcop.  SI is checked by first applying the
+same split reduction used by CobraSI.
+
+Search state is memoized on (frontier, last-writer-per-key); that pair
+fully determines which continuations are possible, so memoization is
+sound and complete.  A configurable state budget makes time-outs explicit
+(``DbcopBudgetExceeded``) instead of unbounded.
+
+Faithful to the original tool, this checker is *incomplete* in the same
+ways the paper reports (Section 7):
+
+- aborted reads and intermediate reads are not detected: reads whose
+  value has no committed writer are treated as unconstrained;
+- no counterexample is produced — just a boolean verdict.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.history import History, INITIAL_VALUE
+from ..core.axioms import check_internal_consistency
+from .reduction import split_history
+
+__all__ = ["DbcopChecker", "DbcopResult", "DbcopBudgetExceeded"]
+
+
+class DbcopBudgetExceeded(RuntimeError):
+    """The frontier search exceeded its state budget (a "time-out")."""
+
+
+class DbcopResult:
+    """Verdict of a dbcop check (no counterexample, like the original)."""
+
+    def __init__(self) -> None:
+        self.satisfies: bool = True
+        self.states_explored: int = 0
+        self.timings: dict = {}
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    def __repr__(self) -> str:
+        return f"DbcopResult(satisfies={self.satisfies}, states={self.states_explored})"
+
+
+class DbcopChecker:
+    """Search-based checker for serializability and (via reduction) SI."""
+
+    def __init__(self, *, max_states: int = 2_000_000):
+        self.max_states = max_states
+
+    # -- public API ------------------------------------------------------------
+
+    def check_si(self, history: History) -> DbcopResult:
+        """SI verdict via the split reduction + serializability search."""
+        result = DbcopResult()
+        t0 = time.perf_counter()
+        if check_internal_consistency(history):
+            result.satisfies = False
+            result.timings["search"] = time.perf_counter() - t0
+            return result
+        split = split_history(history)
+        result.timings["reduce"] = time.perf_counter() - t0
+        return self._search(split, result)
+
+    def check_ser(self, history: History) -> DbcopResult:
+        """Strong-session serializability verdict."""
+        result = DbcopResult()
+        if check_internal_consistency(history):
+            result.satisfies = False
+            result.timings["search"] = 0.0
+            return result
+        return self._search(history, result)
+
+    # -- frontier search -------------------------------------------------------------
+
+    def _search(self, history: History, result: DbcopResult) -> DbcopResult:
+        t0 = time.perf_counter()
+        sessions: List[List] = [
+            [t for t in sess if t.committed] for sess in history.sessions
+        ]
+        sessions = [s for s in sessions if s]
+        writer_index = history.writer_index
+
+        # The search state is (frontier, last-writer-per-key), but only
+        # *contended* keys — written by two or more transactions — need to
+        # live in the memoized state: for a single-writer key the last
+        # writer is "the writer iff it is inside the frontier", which the
+        # frontier already encodes.  This keeps states small (the naive
+        # encoding can reach kilobytes per state on wide key spaces).
+        writer_count: Dict[object, int] = {}
+        for sess in sessions:
+            for txn in sess:
+                for key in txn.keys_written:
+                    writer_count[key] = writer_count.get(key, 0) + 1
+        # Contended keys are interned to small integers so memoized states
+        # are compact and sort natively.
+        contended: Dict[object, int] = {}
+        for key, count in writer_count.items():
+            if count > 1:
+                contended[key] = len(contended)
+
+        # Per-transaction position, for frontier-containment tests.
+        position: Dict[int, Tuple[int, int]] = {}
+        for s, sess in enumerate(sessions):
+            for i, txn in enumerate(sess):
+                position[txn.tid] = (s, i)
+
+        def compile_txn(txn):
+            """Split reads into contended (key, want_tid) pairs and
+            uncontended (writer_tid or -1 with key) membership tests."""
+            contended_reads: List[Tuple[int, int]] = []
+            member_reads: List[Tuple[object, int]] = []
+            for key, value in txn.external_reads.items():
+                if value is INITIAL_VALUE:
+                    if key in contended:
+                        contended_reads.append((contended[key], -1))
+                    else:
+                        member_reads.append((key, -1))
+                    continue
+                writer = writer_index.get((key, value))
+                if writer is None or not writer.committed:
+                    continue  # unconstrained read (dbcop's incompleteness)
+                if key in contended:
+                    contended_reads.append((contended[key], writer.tid))
+                else:
+                    member_reads.append((key, writer.tid))
+            writes = tuple(
+                contended[k] for k in txn.writes if k in contended
+            )
+            return contended_reads, member_reads, writes, txn.tid
+
+        compiled = [[compile_txn(t) for t in sess] for sess in sessions]
+        total = sum(len(s) for s in compiled)
+        if total == 0:
+            result.timings["search"] = time.perf_counter() - t0
+            return result
+
+        single_writer: Dict[object, int] = {}
+        for sess in sessions:
+            for txn in sess:
+                for key in txn.keys_written:
+                    if key not in contended:
+                        single_writer[key] = txn.tid
+
+        def in_frontier(frontier, tid: int) -> bool:
+            s, i = position[tid]
+            return frontier[s] > i
+
+        def schedulable(entry, frontier, last_writers: dict) -> bool:
+            contended_reads, member_reads, _writes, _tid = entry
+            for key, want in contended_reads:
+                if last_writers.get(key, -1) != want:
+                    return False
+            for key, want in member_reads:
+                if want == -1:
+                    # Initial read of a single-writer key: its writer (if
+                    # any) must not have committed yet.
+                    writer = single_writer.get(key)
+                    if writer is not None and in_frontier(frontier, writer):
+                        return False
+                elif not in_frontier(frontier, want):
+                    return False
+            return True
+
+        start = (0,) * len(compiled)
+        # DFS over the state graph; a state fully determines all
+        # continuations, so a visited-set suffices.  Visited states are
+        # stored as 64-bit hashes (the state space is what explodes here —
+        # a collision would need ~2^32 states) and last-writer tuples are
+        # interned so stack entries share storage.
+        visited: set = set()
+        canon: Dict[tuple, tuple] = {}
+        stack: List[Tuple[tuple, Tuple[Tuple[int, int], ...]]] = [(start, ())]
+        while stack:
+            frontier, lw_items = stack.pop()
+            state_key = hash((frontier, lw_items))
+            if state_key in visited:
+                continue
+            visited.add(state_key)
+            result.states_explored += 1
+            if result.states_explored > self.max_states:
+                raise DbcopBudgetExceeded(
+                    f"dbcop search exceeded {self.max_states} states"
+                )
+            if sum(frontier) == total:
+                result.satisfies = True
+                result.timings["search"] = time.perf_counter() - t0
+                return result
+            last_writers = dict(lw_items)
+            for s, pos in enumerate(frontier):
+                if pos >= len(compiled[s]):
+                    continue
+                entry = compiled[s][pos]
+                if not schedulable(entry, frontier, last_writers):
+                    continue
+                new_frontier = list(frontier)
+                new_frontier[s] += 1
+                _creads, _mreads, writes, tid = entry
+                if writes:
+                    new_lw = dict(last_writers)
+                    for key in writes:
+                        new_lw[key] = tid
+                    new_items = tuple(sorted(new_lw.items()))
+                    new_items = canon.setdefault(new_items, new_items)
+                else:
+                    new_items = lw_items
+                child = (tuple(new_frontier), new_items)
+                if hash(child) not in visited:
+                    stack.append(child)
+
+        result.satisfies = False
+        result.timings["search"] = time.perf_counter() - t0
+        return result

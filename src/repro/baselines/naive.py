@@ -1,0 +1,183 @@
+"""Brute-force oracles for SI and serializability (paper Section 2.3).
+
+Theorem 6 yields a direct but prohibitively expensive decision procedure:
+enumerate every per-key version order (WW relation) and test whether any
+resulting dependency graph has only cycles with at least two adjacent RW
+edges — equivalently, whether ``(SO ∪ WR ∪ WW) ; RW?`` is acyclic.
+
+These oracles exist to *validate* the optimized checkers on small
+histories (they are used extensively by the property-based tests); they
+deliberately trade every optimization for obviousness.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import Dict, List, Optional, Tuple
+
+from ..core.axioms import check_axioms
+from ..core.history import History, INITIAL_VALUE
+
+__all__ = ["naive_check_si", "naive_check_ser", "OracleTooLarge"]
+
+
+class OracleTooLarge(RuntimeError):
+    """The history exceeds the oracle's enumeration budget."""
+
+
+def _read_edges(history: History) -> Optional[List[Tuple[int, object, int]]]:
+    """(reader, key, writer) WR triples; writer -1 denotes the initial
+    state.  Returns None when some read is unjustifiable (an SI violation
+    on its own)."""
+    triples: List[Tuple[int, object, int]] = []
+    index = history.writer_index
+    for txn in history.transactions:
+        if not txn.committed:
+            continue
+        for key, value in txn.external_reads.items():
+            if value is INITIAL_VALUE:
+                triples.append((txn.tid, key, -1))
+                continue
+            writer = index.get((key, value))
+            if writer is None or writer is txn:
+                return None
+            triples.append((txn.tid, key, writer.tid))
+    return triples
+
+
+def _acyclic(n: int, succ: List[set]) -> bool:
+    """Iterative three-color DFS acyclicity test."""
+    color = bytearray(n)  # 0 white, 1 gray, 2 black
+    for root in range(n):
+        if color[root]:
+            continue
+        stack = [(root, iter(succ[root]))]
+        color[root] = 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == 1:
+                    return False
+                if color[nxt] == 0:
+                    color[nxt] = 1
+                    stack.append((nxt, iter(succ[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+    return True
+
+
+def naive_check_si(history: History, *, max_orders: int = 2_000_000) -> bool:
+    """Ground-truth SI verdict by enumerating all WW version orders."""
+    if check_axioms(history):
+        return False
+    reads = _read_edges(history)
+    if reads is None:
+        return False
+
+    writers_of: Dict[object, List[int]] = {}
+    for txn in history.transactions:
+        if txn.committed:
+            for key in txn.keys_written:
+                writers_of.setdefault(key, []).append(txn.tid)
+
+    total = 1
+    multi_keys = []
+    for key, writers in writers_of.items():
+        if len(writers) > 1:
+            multi_keys.append(key)
+            for i in range(2, len(writers) + 1):
+                total *= i
+            if total > max_orders:
+                raise OracleTooLarge(
+                    f"{total}+ version orders; the naive oracle only handles "
+                    "small histories"
+                )
+
+    n = len(history.transactions)
+    readers_from: Dict[Tuple[int, object], List[int]] = {}
+    for reader, key, writer in reads:
+        readers_from.setdefault((writer, key), []).append(reader)
+
+    base_dep: List[set] = [set() for _ in range(n)]
+    base_rw: List[set] = [set() for _ in range(n)]
+    for a, b in history.session_order_pairs():
+        base_dep[a.tid].add(b.tid)
+    for reader, key, writer in reads:
+        if writer >= 0:
+            base_dep[writer].add(reader)
+    # Init-state versions precede every real version, so a reader of the
+    # initial state anti-depends on every writer of the key.
+    for (writer, key), rs in readers_from.items():
+        if writer == -1:
+            for s in writers_of.get(key, ()):
+                for r in rs:
+                    if r != s:
+                        base_rw[r].add(s)
+
+    orders = [permutations(writers_of[key]) for key in multi_keys]
+    for combo in product(*orders):
+        dep = [set(row) for row in base_dep]
+        rw = [set(row) for row in base_rw]
+        for key, order in zip(multi_keys, combo):
+            for i in range(len(order)):
+                t = order[i]
+                for j in range(i + 1, len(order)):
+                    s = order[j]
+                    dep[t].add(s)  # WW edge
+                    for r in readers_from.get((t, key), ()):
+                        if r != s:
+                            rw[r].add(s)
+        # Induced graph: Dep ∪ (Dep ; RW).
+        induced = [set(row) for row in dep]
+        for u in range(n):
+            for mid in dep[u]:
+                induced[u] |= rw[mid]
+        if _acyclic(n, induced):
+            return True
+    return False
+
+
+def naive_check_ser(history: History, *, max_txns: int = 9) -> bool:
+    """Ground-truth (strong session) serializability by enumerating serial
+    orders consistent with the session order."""
+    if check_axioms(history):
+        return False
+    if _read_edges(history) is None:
+        return False
+    committed = [t for t in history.transactions if t.committed]
+    if len(committed) > max_txns:
+        raise OracleTooLarge(
+            f"{len(committed)} transactions; the naive SER oracle only "
+            f"handles up to {max_txns}"
+        )
+    session_pos = {t.tid: (t.session, t.index) for t in committed}
+    for perm in permutations(committed):
+        # Session order must be respected.
+        seen_index: Dict[int, int] = {}
+        ok = True
+        for txn in perm:
+            sess, idx = session_pos[txn.tid]
+            if seen_index.get(sess, -1) > idx:
+                ok = False
+                break
+            seen_index[sess] = idx
+        if not ok:
+            continue
+        state: dict = {}
+        for txn in perm:
+            for key, value in txn.external_reads.items():
+                current = state.get(key, INITIAL_VALUE)
+                if current != value:
+                    ok = False
+                    break
+            if not ok:
+                break
+            for key, value in txn.writes.items():
+                state[key] = value
+        if ok:
+            return True
+    return False

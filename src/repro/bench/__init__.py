@@ -1,0 +1,5 @@
+"""Measurement harness for regenerating the paper's tables and figures."""
+
+from .harness import Measurement, Sweep, measure, render_series, render_table
+
+__all__ = ["Measurement", "Sweep", "measure", "render_series", "render_table"]

@@ -1,0 +1,123 @@
+"""Measurement harness for the evaluation (Section 5).
+
+Provides wall-clock + peak-memory measurement (tracemalloc) for single
+checker runs, a sweep runner with a per-point time budget (the paper
+times experiments out at 180 s and omits those points from the plots),
+and plain-text rendering of paper-style series tables.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["Measurement", "measure", "Sweep", "render_table", "render_series"]
+
+
+class Measurement:
+    """One measured run: wall time, peak memory, and the callable's result."""
+
+    __slots__ = ("seconds", "peak_mb", "result", "timed_out")
+
+    def __init__(self, seconds: float, peak_mb: float, result,
+                 timed_out: bool = False):
+        self.seconds = seconds
+        self.peak_mb = peak_mb
+        self.result = result
+        self.timed_out = timed_out
+
+    def __repr__(self) -> str:
+        if self.timed_out:
+            return "Measurement(TIMEOUT)"
+        return f"Measurement({self.seconds:.3f}s, {self.peak_mb:.1f}MB)"
+
+
+def measure(fn: Callable, *args, trace_memory: bool = True, **kwargs) -> Measurement:
+    """Run ``fn`` once, measuring wall time and peak allocated memory.
+
+    tracemalloc adds overhead (~2x on allocation-heavy code); memory
+    numbers are for *shape* comparison, as in Figure 7, not absolute
+    footprints.
+    """
+    if trace_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    seconds = time.perf_counter() - start
+    peak_mb = 0.0
+    if trace_memory:
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_mb = peak / (1024 * 1024)
+    return Measurement(seconds, peak_mb, result)
+
+
+class Sweep:
+    """A sweep of one checker over the points of one axis.
+
+    Once a point exceeds ``budget_seconds``, later (larger) points are
+    skipped and reported as timed out — mirroring how the paper's plots
+    drop timed-out configurations.
+    """
+
+    def __init__(self, name: str, *, budget_seconds: float = 180.0):
+        self.name = name
+        self.budget_seconds = budget_seconds
+        self.points: Dict = {}
+        self._exceeded = False
+
+    def run(self, x, fn: Callable, *args, **kwargs) -> Optional[Measurement]:
+        """Measure point ``x``; skips the rest once the budget is blown."""
+        if self._exceeded:
+            self.points[x] = Measurement(float("nan"), float("nan"), None, True)
+            return None
+        try:
+            m = measure(fn, *args, **kwargs)
+        except Exception:
+            # Budget-style failures (e.g. dbcop state explosion) count as
+            # time-outs, matching the paper's presentation.
+            self.points[x] = Measurement(float("nan"), float("nan"), None, True)
+            self._exceeded = True
+            return None
+        self.points[x] = m
+        if m.seconds > self.budget_seconds:
+            self._exceeded = True
+        return m
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Align a rows/columns table as monospaced text."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_series(
+    axis_name: str,
+    xs: Sequence,
+    sweeps: Sequence[Sweep],
+    *,
+    value: str = "seconds",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render sweeps side by side, one row per x (paper-figure style)."""
+    headers = [axis_name] + [sweep.name for sweep in sweeps]
+    rows: List[List[str]] = []
+    for x in xs:
+        row: List[str] = [str(x)]
+        for sweep in sweeps:
+            m = sweep.points.get(x)
+            if m is None:
+                row.append("-")
+            elif m.timed_out:
+                row.append("timeout")
+            else:
+                row.append(fmt.format(getattr(m, value)))
+        rows.append(row)
+    return render_table(headers, rows)

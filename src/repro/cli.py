@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``check HISTORY``     — check a history file for snapshot isolation;
+  exit code 0 (satisfies), 1 (violation), 2 (error).
+- ``generate``          — generate a workload, run it on the bundled
+  store, and write the recorded history.
+- ``audit``             — repeatedly run workloads against a (faulty)
+  store profile until a violation is found, then explain it.
+- ``corpus``            — sweep the known-anomaly corpus and report the
+  detection rate.
+- ``profiles``          — list the simulated database profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.checker import PolySIChecker
+from .histories.codec import dump_history, load_history
+from .interpret import interpret_violation
+from .storage.client import run_workload
+from .storage.database import MVCCDatabase
+from .storage.faults import DATABASE_PROFILES
+from .workloads.corpus import known_anomaly_corpus
+from .workloads.generator import WorkloadParams, generate_workload
+
+__all__ = ["main"]
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sessions", type=int, default=6)
+    parser.add_argument("--txns", type=int, default=10,
+                        help="transactions per session")
+    parser.add_argument("--ops", type=int, default=5,
+                        help="operations per transaction")
+    parser.add_argument("--reads", type=float, default=0.5,
+                        help="read proportion in [0, 1]")
+    parser.add_argument("--keys", type=int, default=20)
+    parser.add_argument("--dist", default="uniform",
+                        choices=["uniform", "zipfian", "hotspot"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _params(args) -> WorkloadParams:
+    return WorkloadParams(
+        sessions=args.sessions,
+        txns_per_session=args.txns,
+        ops_per_txn=args.ops,
+        read_proportion=args.reads,
+        keys=args.keys,
+        distribution=args.dist,
+    )
+
+
+def cmd_check(args) -> int:
+    """``repro check``: verdict + timings; optional interpretation."""
+    history = load_history(args.history, fmt=args.format)
+    checker = PolySIChecker(prune=not args.no_prune)
+    result = checker.check(history)
+    print(result.describe())
+    print(f"stages (s): " + ", ".join(
+        f"{k}={v:.3f}" for k, v in result.timings.items()
+    ))
+    if result.satisfies_si:
+        return 0
+    if args.explain and (result.cycle or result.anomalies):
+        example = interpret_violation(result)
+        print(f"\nanomaly class: {example.classification}")
+        if args.dot:
+            with open(args.dot, "w", encoding="utf-8") as handle:
+                handle.write(example.to_dot())
+            print(f"counterexample DOT written to {args.dot}")
+    return 1
+
+
+def cmd_generate(args) -> int:
+    """``repro generate``: record a workload run to a history file."""
+    spec = generate_workload(_params(args), seed=args.seed)
+    faults = None
+    if args.profile:
+        faults = DATABASE_PROFILES[args.profile]["faults"]
+    db = MVCCDatabase(isolation=args.isolation, faults=faults, seed=args.seed)
+    run = run_workload(db, spec, seed=args.seed)
+    dump_history(run.history, args.output, fmt=args.format)
+    print(
+        f"wrote {args.output}: {len(run.history)} txns "
+        f"({run.committed} committed, {run.aborted} aborted)"
+    )
+    return 0
+
+
+def cmd_audit(args) -> int:
+    """``repro audit``: run workloads against a fault profile until a
+    violation appears, then explain it."""
+    faults = DATABASE_PROFILES[args.profile]["faults"]
+    checker = PolySIChecker()
+    for seed in range(args.runs):
+        spec = generate_workload(_params(args), seed=seed)
+        db = MVCCDatabase(faults=faults, seed=seed)
+        run = run_workload(db, spec, seed=seed)
+        result = checker.check(run.history)
+        if result.satisfies_si:
+            continue
+        example = interpret_violation(result)
+        print(f"violation found after {seed + 1} run(s)")
+        print(f"anomaly class: {example.classification}")
+        print(example.describe())
+        if args.dot:
+            with open(args.dot, "w", encoding="utf-8") as handle:
+                handle.write(example.to_dot())
+            print(f"counterexample DOT written to {args.dot}")
+        return 1
+    print(f"no violation in {args.runs} runs")
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    """``repro corpus``: sweep the known-anomaly corpus."""
+    missed = []
+    checker = PolySIChecker()
+    total = 0
+    for name, history in known_anomaly_corpus(args.count, seed=args.seed):
+        total += 1
+        if checker.check(history).satisfies_si:
+            missed.append((total - 1, name))
+    print(f"detected {total - len(missed)}/{total} anomalous histories")
+    for index, name in missed:
+        print(f"  MISSED #{index}: {name}")
+    return 1 if missed else 0
+
+
+def cmd_profiles(_args) -> int:
+    """``repro profiles``: list the simulated database profiles."""
+    width = max(len(name) for name in DATABASE_PROFILES)
+    for name, info in sorted(DATABASE_PROFILES.items()):
+        print(
+            f"{name:<{width}}  kind={info['kind']:<11} "
+            f"expected={info['expected_anomaly']}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PolySI reproduction: black-box snapshot-isolation checking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="check a history file")
+    p.add_argument("history", help="path to a history file")
+    p.add_argument("--format", default="json", choices=["json", "text"])
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable constraint pruning")
+    p.add_argument("--explain", action="store_true",
+                   help="run the interpretation algorithm on violations")
+    p.add_argument("--dot", help="write the counterexample DOT here")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("generate", help="generate and record a workload")
+    _add_workload_args(p)
+    p.add_argument("--isolation", default="snapshot",
+                   choices=["snapshot", "serializable", "read_committed"])
+    p.add_argument("--profile", choices=sorted(DATABASE_PROFILES),
+                   help="inject this database profile's faults")
+    p.add_argument("--format", default="json", choices=["json", "text"])
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("audit", help="hunt for violations in a faulty store")
+    _add_workload_args(p)
+    p.add_argument("--profile", required=True,
+                   choices=sorted(DATABASE_PROFILES))
+    p.add_argument("--runs", type=int, default=25)
+    p.add_argument("--dot", help="write the counterexample DOT here")
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("corpus", help="sweep the known-anomaly corpus")
+    p.add_argument("--count", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("profiles", help="list simulated database profiles")
+    p.set_defaults(func=cmd_profiles)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""The PolySI checking pipeline (paper Section 4, Algorithm 1).
+
+``CheckSI(H)``:
+
+1. axioms — reject histories failing Int / AbortedReads /
+   IntermediateReads (plus unjustified and future reads found while
+   matching reads to writers);
+2. construct — build the generalized polygraph;
+3. prune — resolve constraints whose branches would close undesired
+   cycles (optional, on by default);
+4. encode — SAT-encode the induced SI graph;
+5. solve — MonoSAT-style acyclicity solving.
+
+The result records the verdict, any anomalies, a concrete witness cycle
+on violation, and per-stage wall-clock timings plus structural statistics
+(used by the Figure 9 / Table 3 / Figure 10 experiments).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from ..utils.reachability import (
+    Reachability,
+    transitive_closure_bits,
+    transitive_closure_numpy,
+)
+from .axioms import AxiomViolation, check_axioms
+from .encoding import SIEncoding, encode_polygraph, extract_violation_cycle
+from .history import History
+from .polygraph import Edge, GeneralizedPolygraph, build_polygraph
+from .pruning import PruneResult, prune_constraints
+
+__all__ = ["CheckResult", "PolySIChecker", "check_snapshot_isolation"]
+
+_CLOSURES: dict = {
+    "bits": transitive_closure_bits,
+    "numpy": transitive_closure_numpy,
+}
+
+
+class CheckResult:
+    """Verdict and evidence for one history."""
+
+    def __init__(self) -> None:
+        self.satisfies_si: bool = True
+        #: Non-cyclic anomalies (axiom violations), if any.
+        self.anomalies: List[AxiomViolation] = []
+        #: A concrete undesired cycle (typed edges) on violation, or None.
+        self.cycle: Optional[List[Edge]] = None
+        #: Which stage decided: axioms | pruning | solving | trivial.
+        self.decided_by: str = "trivial"
+        #: The polygraph *before* pruning (input to interpretation).
+        self.polygraph: Optional[GeneralizedPolygraph] = None
+        self.prune_result: Optional[PruneResult] = None
+        self.encoding: Optional[SIEncoding] = None
+        #: Stage timings in seconds: construct / prune / encode / solve.
+        self.timings: dict = {}
+        self.solver_stats: dict = {}
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        if self.satisfies_si:
+            return "history satisfies snapshot isolation"
+        if self.anomalies:
+            lines = [f"history violates SI ({self.decided_by}):"]
+            lines += [f"  - {a!r}" for a in self.anomalies]
+            return "\n".join(lines)
+        names = self.polygraph.vertex_name if self.polygraph else str
+        parts = []
+        if self.cycle:
+            for u, v, label, key in self.cycle:
+                suffix = f"({key})" if key is not None else ""
+                parts.append(f"{names(u)} -{label}{suffix}-> {names(v)}")
+        return "history violates SI (%s): cycle %s" % (
+            self.decided_by,
+            "; ".join(parts),
+        )
+
+    def to_json(self) -> str:
+        """Machine-readable verdict (for CI pipelines and tooling).
+
+        Includes the verdict, stage, timings, anomaly summaries, the
+        witness cycle (with transaction names), and the structural
+        statistics of pruning/encoding when available.
+        """
+        import json
+
+        names = self.polygraph.vertex_name if self.polygraph else str
+        payload: dict = {
+            "satisfies_si": self.satisfies_si,
+            "decided_by": self.decided_by,
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
+            "anomalies": [
+                {"axiom": a.axiom, "txn": getattr(a.txn, "name", None),
+                 "key": repr(a.key), "detail": a.detail}
+                for a in self.anomalies
+            ],
+        }
+        if self.cycle:
+            payload["cycle"] = [
+                {"from": names(u), "to": names(v), "type": label,
+                 "key": repr(key) if key is not None else None}
+                for u, v, label, key in self.cycle
+            ]
+        if self.prune_result is not None:
+            payload["pruning"] = self.prune_result.as_dict()
+        if self.encoding is not None:
+            payload["encoding"] = self.encoding.stats()
+        if self.solver_stats:
+            payload["solver"] = self.solver_stats
+        return json.dumps(payload, indent=2)
+
+    def __repr__(self) -> str:
+        verdict = "SI" if self.satisfies_si else f"VIOLATION({self.decided_by})"
+        return f"CheckResult({verdict}, {self.timings})"
+
+
+class PolySIChecker:
+    """The PolySI checker with the paper's two optimizations as switches.
+
+    Parameters
+    ----------
+    prune:
+        Apply constraint pruning before encoding (Figure 10's "w/o P"
+        ablation sets this False).
+    compact:
+        Use generalized (compacted) constraints; False decomposes them
+        into classic per-reader constraints (Figure 10's "w/o C+P").
+    closure:
+        Reachability kernel for pruning: "bits" (default) or "numpy".
+    check_axioms_first:
+        Skip the axiom stage when False (for harnesses that already
+        validated the history).
+    initial_values:
+        Optional map key -> value considered initial for this history
+        (used by segmented checking; see
+        :mod:`repro.extensions.segmented`).
+    """
+
+    def __init__(
+        self,
+        *,
+        prune: bool = True,
+        compact: bool = True,
+        closure: str = "bits",
+        check_axioms_first: bool = True,
+        initial_values: Optional[dict] = None,
+    ):
+        if closure not in _CLOSURES:
+            raise ValueError(f"unknown closure kernel: {closure!r}")
+        self.prune = prune
+        self.compact = compact
+        self.closure: Callable[..., Reachability] = _CLOSURES[closure]
+        self.check_axioms_first = check_axioms_first
+        self.initial_values = initial_values
+
+    def check(self, history: History) -> CheckResult:
+        """Run the full pipeline on ``history``."""
+        result = CheckResult()
+
+        if self.check_axioms_first:
+            t0 = time.perf_counter()
+            anomalies = check_axioms(history)
+            result.timings["axioms"] = time.perf_counter() - t0
+            if anomalies:
+                result.satisfies_si = False
+                result.anomalies = anomalies
+                result.decided_by = "axioms"
+                return result
+
+        t0 = time.perf_counter()
+        graph, construction_anomalies = build_polygraph(
+            history, compact=self.compact, initial_values=self.initial_values
+        )
+        result.timings["construct"] = time.perf_counter() - t0
+        result.polygraph = graph.copy()
+        if construction_anomalies:
+            result.satisfies_si = False
+            result.anomalies = construction_anomalies
+            result.decided_by = "axioms"
+            return result
+
+        if self.prune:
+            t0 = time.perf_counter()
+            prune_result = prune_constraints(graph, closure=self.closure)
+            result.timings["prune"] = time.perf_counter() - t0
+            result.prune_result = prune_result
+            if not prune_result.ok:
+                result.satisfies_si = False
+                result.decided_by = "pruning"
+                result.cycle = prune_result.violation_cycle
+                return result
+
+        t0 = time.perf_counter()
+        encoding = encode_polygraph(graph)
+        result.timings["encode"] = time.perf_counter() - t0
+        result.encoding = encoding
+        if encoding.static_cycle:
+            # The known induced graph is already cyclic: a violation exists
+            # independently of how the remaining constraints resolve.
+            from .pruning import find_known_cycle
+
+            result.satisfies_si = False
+            result.decided_by = "encoding"
+            result.cycle = find_known_cycle(graph, [])
+            return result
+
+        t0 = time.perf_counter()
+        acyclic = encoding.solver.solve()
+        result.timings["solve"] = time.perf_counter() - t0
+        result.solver_stats = encoding.solver.stats.as_dict()
+        result.decided_by = "solving"
+        if acyclic:
+            result.satisfies_si = True
+            return result
+
+        result.satisfies_si = False
+        t0 = time.perf_counter()
+        result.cycle = extract_violation_cycle(encoding)
+        result.timings["explain"] = time.perf_counter() - t0
+        return result
+
+
+def check_snapshot_isolation(history: History, **options) -> CheckResult:
+    """Convenience wrapper: ``PolySIChecker(**options).check(history)``."""
+    return PolySIChecker(**options).check(history)

@@ -1,0 +1,242 @@
+"""SAT encoding of the induced SI graph (paper Section 4.4).
+
+The encoding follows Algorithm 2 (SAT-Encode) with three refinements that
+keep it sound in corner cases and small in practice:
+
+- **Static/variable split.**  Known edges are facts: they need no Boolean
+  variables.  The known part of the induced SI graph
+  ``KI = Dep ∪ (Dep ; AntiDep)`` is computed concretely, checked for
+  cycles directly (a cycle there is already a violation), and handed to
+  the acyclicity theory as a transitive-closure substrate.  Only edges
+  occurring in the *remaining constraints* — a few hundred after pruning
+  (Table 3) — get variables, which is why PolySI's solving stage is cheap
+  on pruned polygraphs (Figure 9).
+- **Typed pair variables.**  ``dep(u, v)`` means "some Dep-type edge
+  (SO/WR/WW) from u to v is present" and ``rw(u, v)`` means "some RW edge
+  from u to v is present".  One untyped variable per pair (the paper's
+  ``BV``) would let an RW edge masquerade as a Dep edge inside
+  compositions, producing spurious induced edges.
+- **Implication-only constraint clauses.**  A constraint contributes a
+  choice variable ``c`` with ``c -> either-edges`` and ``¬c -> or-edges``.
+  Requiring the *absence* of the opposite branch is unnecessary (extra
+  edges only make acyclicity harder, and the solver prefers sparse
+  graphs) and would be unsound when an unrelated known edge shares a pair
+  with an opposite-branch edge.
+
+Induced edges with a variable part are defined by Tseitin translation
+over four derivation shapes: a constraint WW edge itself, constraint-Dep
+composed with known-RW, known-Dep composed with constraint-RW, and
+constraint-Dep composed with constraint-RW.  Pairs already present in the
+known induced graph are skipped — they are permanently true.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..solver.monosat import AcyclicGraphSolver
+from ..utils.reachability import is_acyclic
+from .polygraph import Edge, GeneralizedPolygraph, RW
+
+__all__ = ["SIEncoding", "encode_polygraph", "extract_violation_cycle"]
+
+
+class SIEncoding:
+    """The encoded instance plus the maps needed to decode models."""
+
+    def __init__(self, graph: GeneralizedPolygraph):
+        self.graph = graph
+        self.solver: Optional[AcyclicGraphSolver] = None
+        #: True when the known induced graph already contains a cycle; the
+        #: history violates SI without any solving.
+        self.static_cycle = False
+        self.dep_var: Dict[Tuple[int, int], int] = {}
+        self.rw_var: Dict[Tuple[int, int], int] = {}
+        self.choice_var: List[int] = []
+        self.num_aux_vars = 0
+        self.num_induced_edges = 0
+        self.num_static_induced_edges = 0
+
+    # -- model decoding ------------------------------------------------------
+
+    def resolved_edges(self, model) -> List[Edge]:
+        """Typed edge set of one concrete resolution of the constraints.
+
+        ``model`` is any object with ``model_value(var)`` (the theory-free
+        solver returned by ``solve_without_acyclicity``, or the main
+        solver after SAT).  Known edges are always present; each
+        constraint contributes the branch selected by its choice variable.
+        """
+        edges: List[Edge] = list(self.graph.known_edges)
+        for cons, cvar in zip(self.graph.constraints, self.choice_var):
+            branch = cons.either if model.model_value(cvar) else cons.orelse
+            edges.extend(branch)
+        return edges
+
+    def stats(self) -> dict:
+        """Structural size counters (vars/clauses/edges) for the harness."""
+        solver = self.solver
+        return {
+            "vars": solver.num_vars if solver else 0,
+            "clauses": solver.num_clauses if solver else 0,
+            "induced_edges": self.num_induced_edges,
+            "static_induced_edges": self.num_static_induced_edges,
+            "aux_vars": self.num_aux_vars,
+        }
+
+
+def _static_adjacency(graph: GeneralizedPolygraph):
+    """Pair-level known Dep / AntiDep successor sets."""
+    n = graph.num_vertices
+    dep: List[Set[int]] = [set() for _ in range(n)]
+    antidep: List[Set[int]] = [set() for _ in range(n)]
+    for u, v, label, _key in graph.known_edges:
+        (antidep if label == RW else dep)[u].add(v)
+    return dep, antidep
+
+
+def encode_polygraph(graph: GeneralizedPolygraph) -> SIEncoding:
+    """Encode the (pruned) polygraph; returns the ready-to-solve instance.
+
+    If the known induced graph is already cyclic, ``static_cycle`` is set
+    and no solver is constructed — the caller reports the violation
+    straight from the known edges.
+    """
+    enc = SIEncoding(graph)
+    n = graph.num_vertices
+
+    # 1. Known induced graph KI = Dep ∪ (Dep ; AntiDep), concretely.
+    sd_out, sr_out = _static_adjacency(graph)
+    ki: List[Set[int]] = [set(sd_out[u]) for u in range(n)]
+    for u in range(n):
+        row = ki[u]
+        for mid in sd_out[u]:
+            row |= sr_out[mid]
+    enc.num_static_induced_edges = sum(len(row) for row in ki)
+
+    ki_lists = [list(row) for row in ki]
+    if not is_acyclic(n, ki_lists):
+        enc.static_cycle = True
+        return enc
+
+    solver = AcyclicGraphSolver(n, static_adj=ki_lists)
+    enc.solver = solver
+
+    # 2. Variables for constraint edges (typed, pair-level) and the
+    #    choice-implication clauses.
+    def dep_pair(u: int, v: int) -> int:
+        var = enc.dep_var.get((u, v))
+        if var is None:
+            var = solver.new_var()
+            enc.dep_var[(u, v)] = var
+        return var
+
+    def rw_pair(u: int, v: int) -> int:
+        var = enc.rw_var.get((u, v))
+        if var is None:
+            var = solver.new_var()
+            enc.rw_var[(u, v)] = var
+        return var
+
+    def edge_var(edge: Edge) -> int:
+        u, v, label, _key = edge
+        return rw_pair(u, v) if label == RW else dep_pair(u, v)
+
+    for cons in graph.constraints:
+        cvar = solver.new_var()
+        enc.choice_var.append(cvar)
+        for edge in cons.either:
+            solver.add_clause([-cvar, edge_var(edge)])
+        for edge in cons.orelse:
+            solver.add_clause([cvar, edge_var(edge)])
+
+    # 3. Variable-derived induced edges.  terms[(u, v)] collects the ways
+    #    the induced edge u -> v can arise; each term is a single variable
+    #    or a conjunction of two.
+    terms: Dict[Tuple[int, int], List[tuple]] = {}
+
+    def add_term(u: int, v: int, term: tuple) -> None:
+        if v in ki[u]:  # already permanently present
+            return
+        terms.setdefault((u, v), []).append(term)
+
+    sd_in: List[List[int]] = [[] for _ in range(n)]
+    for u in range(n):
+        for v in sd_out[u]:
+            sd_in[v].append(u)
+
+    rw_by_tail: Dict[int, List[Tuple[int, int]]] = {}
+    for (k, j), var in enc.rw_var.items():
+        rw_by_tail.setdefault(k, []).append((j, var))
+
+    for (u, k), dvar in enc.dep_var.items():
+        # The constraint Dep edge is itself an induced edge.
+        add_term(u, k, ("single", dvar))
+        # Constraint-Dep ; known-RW.
+        for j in sr_out[k]:
+            add_term(u, j, ("single", dvar))
+        # Constraint-Dep ; constraint-RW.
+        for j, rvar in rw_by_tail.get(k, ()):
+            add_term(u, j, ("and", dvar, rvar))
+
+    for (k, j), rvar in enc.rw_var.items():
+        # Known-Dep ; constraint-RW.
+        for i in sd_in[k]:
+            add_term(i, j, ("single", rvar))
+
+    # 4. Tseitin gates and graph-edge registration.
+    registered: Set[int] = set()
+    for (u, v), term_list in terms.items():
+        if len(term_list) == 1 and term_list[0][0] == "single":
+            var = term_list[0][1]
+            if var not in registered:
+                solver.add_edge(var, u, v)
+                registered.add(var)
+                enc.num_induced_edges += 1
+                continue
+            # The variable already stands for another induced edge; fall
+            # through to an equivalent fresh variable.
+        term_vars: List[int] = []
+        seen: Set[tuple] = set()
+        for term in term_list:
+            if term in seen:
+                continue
+            seen.add(term)
+            if term[0] == "single":
+                term_vars.append(term[1])
+            else:
+                _tag, a, b = term
+                aux = solver.new_var()
+                enc.num_aux_vars += 1
+                solver.add_clause([-aux, a])
+                solver.add_clause([-aux, b])
+                solver.add_clause([aux, -a, -b])
+                term_vars.append(aux)
+        bvi = solver.new_var()
+        for t in term_vars:
+            solver.add_clause([-t, bvi])
+        solver.add_clause([-bvi] + term_vars)
+        solver.add_edge(bvi, u, v)
+        enc.num_induced_edges += 1
+
+    return enc
+
+
+def extract_violation_cycle(enc: SIEncoding) -> Optional[List[Edge]]:
+    """After an UNSAT answer, produce one concrete undesired cycle.
+
+    Solves the clause set without the acyclicity requirement to obtain a
+    concrete resolution of all constraints, then searches the resolution's
+    induced graph for a shortest cycle (see
+    :func:`repro.core.pruning.find_known_cycle`).
+    """
+    from .pruning import find_known_cycle  # local import to avoid a cycle
+
+    plain = enc.solver.solve_without_acyclicity()
+    resolved = enc.resolved_edges(plain)
+    shadow = enc.graph.copy()
+    shadow.known_edges = []
+    shadow._known_set = set()
+    shadow.add_known_many(resolved)
+    shadow.constraints = []
+    return find_known_cycle(shadow, [])

@@ -1,0 +1,299 @@
+"""Generalized polygraphs (paper Section 3).
+
+A generalized polygraph ``G = (V, E, C)`` compactly represents *all*
+dependency graphs that could extend a history:
+
+- ``V`` — one vertex per transaction (plus a virtual "init" vertex when
+  some read observed the initial database state);
+- ``E`` — the *known* edges: session order (SO), write-read (WR), and any
+  WW/RW edges that pruning has promoted from constraints;
+- ``C`` — *generalized constraints* ``<either, or>``: for every key ``x``
+  and every unordered pair of transactions ``{T, S}`` writing ``x``,
+  either ``T`` precedes ``S`` in the version order of ``x`` (which forces
+  an RW edge from every transaction reading ``x`` from ``T`` to ``S``) or
+  vice versa (Definition 9).
+
+``build_polygraph`` also supports the *non-compacted* construction used by
+the "PolySI w/o compaction" ablation (Figure 10): each generalized
+constraint is decomposed into one WW-direction constraint per writer pair
+plus one constraint per reader, following classic polygraphs
+(Definition 8) while remaining complete for SI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .axioms import AxiomViolation
+from .history import History, INITIAL_VALUE, Transaction
+
+__all__ = [
+    "SO",
+    "WR",
+    "WW",
+    "RW",
+    "DEP_LABELS",
+    "Edge",
+    "Constraint",
+    "GeneralizedPolygraph",
+    "build_polygraph",
+]
+
+# Edge labels (Table 1).
+SO = "SO"
+WR = "WR"
+WW = "WW"
+RW = "RW"
+
+#: Labels contributing to the Dep relation of the induced SI graph
+#: (everything except RW, which forms AntiDep).
+DEP_LABELS = (SO, WR, WW)
+
+#: A typed, keyed edge ``(src, dst, label, key)``; ``key`` is None for SO.
+Edge = Tuple[int, int, str, object]
+
+
+class Constraint:
+    """A generalized constraint ``<either, or>`` over typed edges.
+
+    Exactly one of the two branches holds in any dependency graph
+    extending the history: all edges of the chosen branch are present.
+    """
+
+    __slots__ = ("either", "orelse", "key", "pair")
+
+    def __init__(
+        self,
+        either: Sequence[Edge],
+        orelse: Sequence[Edge],
+        *,
+        key=None,
+        pair: Optional[Tuple[int, int]] = None,
+    ):
+        self.either = tuple(either)
+        self.orelse = tuple(orelse)
+        self.key = key
+        self.pair = pair
+
+    @property
+    def num_unknown_deps(self) -> int:
+        return len(self.either) + len(self.orelse)
+
+    def __repr__(self) -> str:
+        return f"Constraint(key={self.key!r}, either={self.either}, or={self.orelse})"
+
+
+class GeneralizedPolygraph:
+    """Vertices, known edges, and generalized constraints for a history."""
+
+    def __init__(self, history: History, num_vertices: int,
+                 init_vertex: Optional[int]):
+        self.history = history
+        self.num_vertices = num_vertices
+        self.init_vertex = init_vertex
+        self.known_edges: List[Edge] = []
+        self._known_set: set = set()
+        self.constraints: List[Constraint] = []
+        # (writer_vertex, key) -> list of reader vertices (from WR edges).
+        self.readers_from: Dict[Tuple[int, object], List[int]] = {}
+
+    # -- mutation -------------------------------------------------------------
+
+    def add_known(self, edge: Edge) -> None:
+        """Add a known (certain) edge, deduplicating repeats."""
+        if edge not in self._known_set:
+            self._known_set.add(edge)
+            self.known_edges.append(edge)
+
+    def add_known_many(self, edges: Sequence[Edge]) -> None:
+        for edge in edges:
+            self.add_known(edge)
+
+    # -- views ------------------------------------------------------------------
+
+    def known_by_label(self, *labels: str) -> List[Edge]:
+        wanted = set(labels)
+        return [e for e in self.known_edges if e[2] in wanted]
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_unknown_deps(self) -> int:
+        return sum(c.num_unknown_deps for c in self.constraints)
+
+    def vertex_name(self, v: int) -> str:
+        """Paper-style display name of vertex ``v`` (``T:init`` for init)."""
+        if v == self.init_vertex:
+            return "T:init"
+        return self.history.transactions[v].name
+
+    def vertex_txn(self, v: int) -> Optional[Transaction]:
+        """The transaction behind vertex ``v`` (None for the init vertex)."""
+        if v == self.init_vertex:
+            return None
+        return self.history.transactions[v]
+
+    def copy(self) -> "GeneralizedPolygraph":
+        """Shallow copy: shares edges/constraints (immutable tuples) but can
+        be pruned independently."""
+        out = GeneralizedPolygraph(
+            self.history, self.num_vertices, self.init_vertex
+        )
+        out.known_edges = list(self.known_edges)
+        out._known_set = set(self._known_set)
+        out.constraints = list(self.constraints)
+        out.readers_from = {k: list(v) for k, v in self.readers_from.items()}
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedPolygraph(vertices={self.num_vertices}, "
+            f"known={len(self.known_edges)}, constraints={self.num_constraints}, "
+            f"unknown_deps={self.num_unknown_deps})"
+        )
+
+
+def build_polygraph(
+    history: History,
+    *,
+    compact: bool = True,
+    initial_values: Optional[dict] = None,
+) -> Tuple[GeneralizedPolygraph, List[AxiomViolation]]:
+    """Construct the generalized polygraph of ``history`` (Algorithm 2,
+    CreateKnownGraph + GenerateConstraints).
+
+    Returns the polygraph together with any construction-time anomalies:
+    reads of values no committed transaction wrote ("unjustified reads",
+    which subsume reads from aborted transactions when the axioms were
+    skipped) and reads of a value the reader itself wrote later ("future
+    reads").  A non-empty anomaly list means the history violates SI
+    before any cycle analysis.
+
+    ``initial_values`` optionally maps keys to the value considered
+    *initial* for this history — used by segmented checking (Section 6),
+    where a snapshot's observations seed the next segment.  Keys absent
+    from the map keep :data:`INITIAL_VALUE` as their initial value.
+    """
+    history.validate()
+    n = len(history.transactions)
+    writer_index = history.writer_index
+    initial_values = initial_values or {}
+
+    violations: List[AxiomViolation] = []
+    # (reader_vertex, key, writer_vertex) WR triples; writer -1 means init.
+    wr_edges: List[Tuple[int, object, int]] = []
+    init_needed = False
+    for txn in history.transactions:
+        if not txn.committed:
+            continue
+        for key, value in txn.external_reads.items():
+            if value == initial_values.get(key, INITIAL_VALUE) or (
+                value is INITIAL_VALUE
+            ):
+                init_needed = True
+                wr_edges.append((txn.tid, key, -1))
+                continue
+            writer = writer_index.get((key, value))
+            if writer is None:
+                violations.append(
+                    AxiomViolation(
+                        "UnjustifiedRead", txn, key, value,
+                        f"read {value!r} on {key!r}, written by no committed "
+                        "transaction",
+                    )
+                )
+            elif writer is txn:
+                violations.append(
+                    AxiomViolation(
+                        "FutureRead", txn, key, value,
+                        f"read {value!r} on {key!r} before writing it itself",
+                    )
+                )
+            else:
+                wr_edges.append((txn.tid, key, writer.tid))
+
+    init_vertex = n if init_needed else None
+    graph = GeneralizedPolygraph(
+        history, n + (1 if init_needed else 0), init_vertex
+    )
+
+    # Known SO edges: covering pairs per session (reachability-equivalent to
+    # the full session order and much sparser).
+    for a, b in history.session_order_pairs():
+        graph.add_known((a.tid, b.tid, SO, None))
+
+    # Known WR edges, and the reader index used to expand constraints.
+    for reader, key, writer in wr_edges:
+        src = init_vertex if writer == -1 else writer
+        graph.add_known((src, reader, WR, key))
+        graph.readers_from.setdefault((src, key), []).append(reader)
+
+    # Writers per key (committed final writes only).
+    writers_of: Dict[object, List[int]] = {}
+    for txn in history.transactions:
+        if not txn.committed:
+            continue
+        for key in txn.keys_written:
+            writers_of.setdefault(key, []).append(txn.tid)
+
+    # The init vertex is a known-first writer of every key read from the
+    # initial state: its version order w.r.t. real writers is certain, so it
+    # yields known WW and RW edges rather than constraints (Section 2.3).
+    if init_vertex is not None:
+        init_keys = {key for _, key, writer in wr_edges if writer == -1}
+        for key in init_keys:
+            readers = graph.readers_from.get((init_vertex, key), [])
+            for other in writers_of.get(key, []):
+                graph.add_known((init_vertex, other, WW, key))
+                for reader in readers:
+                    if reader != other:
+                        graph.add_known((reader, other, RW, key))
+
+    # Generalized constraints: one per key per unordered pair of writers.
+    for key, writers in writers_of.items():
+        for i in range(len(writers)):
+            for j in range(i + 1, len(writers)):
+                t, s = writers[i], writers[j]
+                _emit_constraints(graph, key, t, s, compact)
+
+    return graph, violations
+
+
+def _branch(graph: GeneralizedPolygraph, key, first: int, second: int) -> List[Edge]:
+    """Edges forced when ``first`` precedes ``second`` in the version order
+    of ``key``: the WW edge plus one RW edge per reader of ``first``."""
+    edges: List[Edge] = [(first, second, WW, key)]
+    for reader in graph.readers_from.get((first, key), []):
+        if reader != second:
+            edges.append((reader, second, RW, key))
+    return edges
+
+
+def _emit_constraints(
+    graph: GeneralizedPolygraph, key, t: int, s: int, compact: bool
+) -> None:
+    either = _branch(graph, key, t, s)
+    orelse = _branch(graph, key, s, t)
+    if compact:
+        graph.constraints.append(
+            Constraint(either, orelse, key=key, pair=(t, s))
+        )
+        return
+    # Non-compacted construction (Definition 8 style): the WW direction
+    # choice plus one constraint per reader.  Shared pair-level variables in
+    # the encoding keep the decomposition semantically equivalent.
+    ww_ts: Edge = (t, s, WW, key)
+    ww_st: Edge = (s, t, WW, key)
+    graph.constraints.append(
+        Constraint([ww_ts], [ww_st], key=key, pair=(t, s))
+    )
+    for edge in either[1:]:
+        graph.constraints.append(
+            Constraint([ww_ts, edge], [ww_st], key=key, pair=(t, s))
+        )
+    for edge in orelse[1:]:
+        graph.constraints.append(
+            Constraint([ww_st, edge], [ww_ts], key=key, pair=(t, s))
+        )

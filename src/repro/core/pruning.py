@@ -1,0 +1,254 @@
+"""Constraint pruning (paper Section 4.3, Algorithm 2 lines 34-70).
+
+A constraint branch is impossible when adding its edges to the *known*
+part of the induced SI graph would close an undesired cycle:
+
+- a WW edge ``from -> to`` is impossible if ``to`` already reaches
+  ``from`` (Figure 4a);
+- an RW edge ``from -> to`` is impossible if ``to`` reaches an immediate
+  Dep-predecessor ``prec`` of ``from`` — the composition
+  ``prec -Dep-> from -RW-> to`` adds a known induced edge ``prec -> to``
+  which, together with the path ``to ~> prec``, closes a cycle
+  (Figure 4b).
+
+When one branch is impossible the other becomes known; when both are, the
+history violates SI and a concrete witness cycle is reconstructed for the
+interpretation stage.  The process iterates to a fixpoint: newly-known
+edges enable further pruning.
+
+Reachability of the known induced graph ``KI = Dep ∪ (Dep ; AntiDep)`` is
+recomputed once per iteration with an exact SCC-condensed bitset closure
+(the paper uses Floyd-Warshall; see ``repro.utils.reachability``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..utils.reachability import Reachability, transitive_closure_bits
+from .polygraph import Constraint, Edge, GeneralizedPolygraph, RW, WW, DEP_LABELS
+
+__all__ = ["PruneResult", "prune_constraints", "find_known_cycle"]
+
+
+class PruneResult:
+    """Outcome of :func:`prune_constraints`."""
+
+    __slots__ = (
+        "ok",
+        "iterations",
+        "pruned",
+        "constraints_before",
+        "constraints_after",
+        "unknown_deps_before",
+        "unknown_deps_after",
+        "violation_cycle",
+        "violation_constraint",
+    )
+
+    def __init__(self) -> None:
+        self.ok = True
+        self.iterations = 0
+        self.pruned = 0
+        self.constraints_before = 0
+        self.constraints_after = 0
+        self.unknown_deps_before = 0
+        self.unknown_deps_after = 0
+        self.violation_cycle: Optional[List[Edge]] = None
+        self.violation_constraint: Optional[Constraint] = None
+
+    def as_dict(self) -> dict:
+        """Summary counters (the Table 3 columns)."""
+        return {
+            "ok": self.ok,
+            "iterations": self.iterations,
+            "pruned": self.pruned,
+            "constraints_before": self.constraints_before,
+            "constraints_after": self.constraints_after,
+            "unknown_deps_before": self.unknown_deps_before,
+            "unknown_deps_after": self.unknown_deps_after,
+        }
+
+
+def _known_adjacency(
+    graph: GeneralizedPolygraph,
+) -> Tuple[List[set], List[set]]:
+    """Pair-level Dep and AntiDep successor sets over known edges."""
+    n = graph.num_vertices
+    dep: List[set] = [set() for _ in range(n)]
+    antidep: List[set] = [set() for _ in range(n)]
+    for u, v, label, _key in graph.known_edges:
+        if label == RW:
+            antidep[u].add(v)
+        else:
+            dep[u].add(v)
+    return dep, antidep
+
+
+def _induced_adjacency(dep: List[set], antidep: List[set]) -> List[set]:
+    """KI = Dep ∪ (Dep ; AntiDep) at the pair level."""
+    ki: List[set] = []
+    for u in range(len(dep)):
+        row = set(dep[u])
+        for mid in dep[u]:
+            row |= antidep[mid]
+        ki.append(row)
+    return ki
+
+
+def _dep_predecessors(dep: List[set]) -> List[List[int]]:
+    preds: List[List[int]] = [[] for _ in range(len(dep))]
+    for u, succs in enumerate(dep):
+        for v in succs:
+            preds[v].append(u)
+    return preds
+
+
+def _branch_impossible(
+    edges: Tuple[Edge, ...],
+    reach: Reachability,
+    dep_preds: List[List[int]],
+) -> bool:
+    for src, dst, label, _key in edges:
+        if label == WW:
+            if reach.has(dst, src):
+                return True
+        else:  # RW
+            for prec in dep_preds[src]:
+                if prec == dst or reach.has(dst, prec):
+                    return True
+    return False
+
+
+def prune_constraints(
+    graph: GeneralizedPolygraph,
+    *,
+    closure: Callable[[int, List[set]], Reachability] = transitive_closure_bits,
+) -> PruneResult:
+    """Prune ``graph`` in place until no more constraints can be resolved.
+
+    Returns a :class:`PruneResult`; ``result.ok`` is False when some
+    constraint has *both* branches impossible, i.e. the history violates
+    SI.  ``result.violation_cycle`` then carries one concrete undesired
+    cycle (the impossible either-branch edge closed against the known
+    graph), ready for the interpretation algorithm.
+    """
+    result = PruneResult()
+    result.constraints_before = graph.num_constraints
+    result.unknown_deps_before = graph.num_unknown_deps
+
+    while True:
+        result.iterations += 1
+        dep, antidep = _known_adjacency(graph)
+        ki = _induced_adjacency(dep, antidep)
+        reach = closure(graph.num_vertices, ki)
+        dep_preds = _dep_predecessors(dep)
+
+        remaining: List[Constraint] = []
+        changed = False
+        for cons in graph.constraints:
+            either_bad = _branch_impossible(cons.either, reach, dep_preds)
+            orelse_bad = _branch_impossible(cons.orelse, reach, dep_preds)
+            if either_bad and orelse_bad:
+                result.ok = False
+                result.violation_constraint = cons
+                result.violation_cycle = _violation_cycle(graph, cons)
+                result.constraints_after = graph.num_constraints
+                result.unknown_deps_after = graph.num_unknown_deps
+                return result
+            if either_bad:
+                graph.add_known_many(cons.orelse)
+                result.pruned += 1
+                changed = True
+            elif orelse_bad:
+                graph.add_known_many(cons.either)
+                result.pruned += 1
+                changed = True
+            else:
+                remaining.append(cons)
+        graph.constraints = remaining
+        if not changed:
+            break
+
+    result.constraints_after = graph.num_constraints
+    result.unknown_deps_after = graph.num_unknown_deps
+    return result
+
+
+# -- witness-cycle reconstruction -------------------------------------------------
+
+
+def _typed_adjacency(graph: GeneralizedPolygraph) -> Dict[int, List[Edge]]:
+    adj: Dict[int, List[Edge]] = {}
+    for edge in graph.known_edges:
+        adj.setdefault(edge[0], []).append(edge)
+    return adj
+
+
+def find_known_cycle(
+    graph: GeneralizedPolygraph, extra_edges: List[Edge]
+) -> Optional[List[Edge]]:
+    """A shortest undesired cycle in the known induced graph extended with
+    ``extra_edges``, as a list of typed edges, or None.
+
+    Works on the *induced* graph (Dep composed with optional trailing RW),
+    so any cycle found has no two adjacent RW edges and is therefore a
+    genuine SI violation witness.
+    """
+    dep_adj: Dict[int, List[Edge]] = {}
+    antidep_adj: Dict[int, List[Edge]] = {}
+    for edge in list(graph.known_edges) + list(extra_edges):
+        target = antidep_adj if edge[2] == RW else dep_adj
+        target.setdefault(edge[0], []).append(edge)
+
+    # Induced edges with provenance: (dst, [typed edges making the hop]).
+    induced: Dict[int, List[Tuple[int, List[Edge]]]] = {}
+    for u, edges in dep_adj.items():
+        hops = induced.setdefault(u, [])
+        for edge in edges:
+            hops.append((edge[1], [edge]))
+            for rw_edge in antidep_adj.get(edge[1], ()):
+                hops.append((rw_edge[1], [edge, rw_edge]))
+
+    best: Optional[List[Edge]] = None
+    for start in induced:
+        path = _bfs_cycle(induced, start)
+        if path is not None and (best is None or len(path) < len(best)):
+            best = path
+    return best
+
+
+def _bfs_cycle(
+    induced: Dict[int, List[Tuple[int, List[Edge]]]], start: int
+) -> Optional[List[Edge]]:
+    """Shortest induced cycle through ``start`` (BFS back to start)."""
+    parents: Dict[int, Tuple[int, List[Edge]]] = {}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for nxt, hop in induced.get(node, ()):
+            if nxt == start:
+                cycle = list(hop)
+                cur = node
+                while cur != start:
+                    prev, prev_hop = parents[cur]
+                    cycle = list(prev_hop) + cycle
+                    cur = prev
+                return cycle
+            if nxt not in parents:
+                parents[nxt] = (node, hop)
+                queue.append(nxt)
+    return None
+
+
+def _violation_cycle(
+    graph: GeneralizedPolygraph, cons: Constraint
+) -> Optional[List[Edge]]:
+    """On a both-branches-impossible constraint, close one branch's edges
+    against the known graph to produce a concrete witness cycle."""
+    for branch in (cons.either, cons.orelse):
+        cycle = find_known_cycle(graph, list(branch))
+        if cycle is not None:
+            return cycle
+    return None

@@ -1,0 +1,25 @@
+"""Implemented extensions from the paper's Section 6 / Section 8 roadmap."""
+
+from .segmented import (
+    Segment,
+    SegmentedCheckResult,
+    SegmentedRun,
+    check_segmented,
+    run_segmented_workload,
+)
+from .causal import (
+    WeakCheckResult,
+    check_read_atomicity,
+    check_transactional_causal_consistency,
+)
+
+__all__ = [
+    "Segment",
+    "SegmentedCheckResult",
+    "SegmentedRun",
+    "check_segmented",
+    "run_segmented_workload",
+    "WeakCheckResult",
+    "check_read_atomicity",
+    "check_transactional_causal_consistency",
+]

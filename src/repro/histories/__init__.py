@@ -1,0 +1,19 @@
+"""History serialization codecs."""
+
+from .codec import (
+    dump_history,
+    history_from_json,
+    history_from_text,
+    history_to_json,
+    history_to_text,
+    load_history,
+)
+
+__all__ = [
+    "dump_history",
+    "history_from_json",
+    "history_from_text",
+    "history_to_json",
+    "history_to_text",
+    "load_history",
+]

@@ -1,0 +1,158 @@
+"""History (de)serialization.
+
+Two formats:
+
+- **JSON** — explicit and tool-friendly:
+  ``{"sessions": [[{"status": "committed", "ops": [["w", "x", 1], ...]}]]}``
+- **text** — compact line-based form for eyeballing and fixtures: one
+  transaction per line, ``<session> <status> | op op ...`` where ops are
+  ``w(key,value)`` / ``r(key,value)`` and the value ``_`` denotes the
+  initial value.
+
+Values survive the JSON round trip when they are JSON-representable
+(``None``/ints/strings); the text codec restricts values to ints, the
+initial-value marker, and strings without parentheses or commas — the
+formats the workload generators emit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from ..core.history import (
+    ABORTED,
+    COMMITTED,
+    History,
+    INITIAL_VALUE,
+    Operation,
+    R,
+    W,
+)
+
+__all__ = [
+    "history_to_json",
+    "history_from_json",
+    "history_to_text",
+    "history_from_text",
+    "dump_history",
+    "load_history",
+]
+
+
+def history_to_json(history: History) -> str:
+    """Serialize to a JSON string."""
+    sessions = []
+    for session in history.sessions:
+        txns = []
+        for txn in session:
+            txns.append(
+                {
+                    "status": txn.status,
+                    "ops": [
+                        [op.kind, op.key, op.value] for op in txn.ops
+                    ],
+                }
+            )
+        sessions.append(txns)
+    return json.dumps({"sessions": sessions})
+
+
+def history_from_json(text: str) -> History:
+    """Parse a history from :func:`history_to_json` output."""
+    data = json.loads(text)
+    session_ops: List[List[List[Operation]]] = []
+    aborted = set()
+    for s, txns in enumerate(data["sessions"]):
+        ops_list = []
+        for i, txn in enumerate(txns):
+            ops = [Operation(kind, key, value) for kind, key, value in txn["ops"]]
+            ops_list.append(ops)
+            if txn.get("status", COMMITTED) == ABORTED:
+                aborted.add((s, i))
+        session_ops.append(ops_list)
+    return History.from_ops(session_ops, aborted=aborted)
+
+
+def _format_value(value) -> str:
+    if value is INITIAL_VALUE:
+        return "_"
+    return str(value)
+
+
+def _parse_value(text: str):
+    if text == "_":
+        return INITIAL_VALUE
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def history_to_text(history: History) -> str:
+    """Serialize to the compact line format."""
+    lines = []
+    for s, session in enumerate(history.sessions):
+        for txn in session:
+            flag = "c" if txn.committed else "a"
+            ops = " ".join(
+                f"{op.kind}({op.key},{_format_value(op.value)})" for op in txn.ops
+            )
+            lines.append(f"{s} {flag} | {ops}")
+    return "\n".join(lines) + "\n"
+
+
+def history_from_text(text: str) -> History:
+    """Parse the compact line format."""
+    sessions: dict = {}
+    aborted = set()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, body = line.partition("|")
+        parts = head.split()
+        if len(parts) != 2 or parts[1] not in ("c", "a"):
+            raise ValueError(f"malformed history line: {raw!r}")
+        session = int(parts[0])
+        ops: List[Operation] = []
+        for token in body.split():
+            kind = token[0]
+            if kind not in "rw" or not token[1:].startswith("(") or not token.endswith(")"):
+                raise ValueError(f"malformed operation: {token!r}")
+            inner = token[2:-1]
+            key_text, _, value_text = inner.rpartition(",")
+            key = _parse_value(key_text)
+            value = _parse_value(value_text)
+            ops.append(R(key, value) if kind == "r" else W(key, value))
+        txns = sessions.setdefault(session, [])
+        if parts[1] == "a":
+            aborted.add((session, len(txns)))
+        txns.append(ops)
+    ordered_sessions = [sessions[s] for s in sorted(sessions)]
+    renumber = {s: i for i, s in enumerate(sorted(sessions))}
+    aborted = {(renumber[s], i) for (s, i) in aborted}
+    return History.from_ops(ordered_sessions, aborted=aborted)
+
+
+def dump_history(history: History, path: str, *, fmt: str = "json") -> None:
+    """Write a history to ``path`` in the selected format."""
+    if fmt == "json":
+        payload = history_to_json(history)
+    elif fmt == "text":
+        payload = history_to_text(history)
+    else:
+        raise ValueError(f"unknown history format: {fmt!r}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def load_history(path: str, *, fmt: str = "json") -> History:
+    """Read a history written by :func:`dump_history`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = handle.read()
+    if fmt == "json":
+        return history_from_json(payload)
+    if fmt == "text":
+        return history_from_text(payload)
+    raise ValueError(f"unknown history format: {fmt!r}")

@@ -1,0 +1,15 @@
+"""Counterexample interpretation and anomaly classification (Section 5.3)."""
+
+from .classify import ANOMALY_NAMES, classify_anomalies, classify_cycle
+from .interpretation import Counterexample, InterpretationError, interpret_violation
+from .dot import counterexample_to_dot
+
+__all__ = [
+    "ANOMALY_NAMES",
+    "classify_anomalies",
+    "classify_cycle",
+    "Counterexample",
+    "InterpretationError",
+    "interpret_violation",
+    "counterexample_to_dot",
+]

@@ -1,0 +1,121 @@
+"""Anomaly classification for counterexamples (Sections 5.2-5.3).
+
+Given the finalized violation cycle, name the anomaly the way the paper
+(and the isolation-level literature, Adya [1] / Cerone-Gotsman [11]) does:
+lost update, long fork, causality violation, read skew (G-single), write
+cycles (G0/G1c), plus the non-cyclic classes caught by the axioms.
+The label guides debugging: a lost update points at write-write conflict
+resolution, a causality violation at session/snapshot management.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.axioms import AxiomViolation
+from ..core.polygraph import Edge, GeneralizedPolygraph, RW, SO, WR, WW
+
+__all__ = ["classify_cycle", "classify_anomalies", "ANOMALY_NAMES"]
+
+ANOMALY_NAMES = (
+    "aborted read",
+    "intermediate read",
+    "non-repeatable internal read",
+    "unjustified read",
+    "future read",
+    "lost update",
+    "long fork",
+    "causality violation",
+    "read skew (G-single)",
+    "dirty write cycle (G0)",
+    "cyclic information flow (G1c)",
+    "SI violation (cycle)",
+)
+
+_AXIOM_LABELS = {
+    "AbortedReads": "aborted read",
+    "IntermediateReads": "intermediate read",
+    "Int": "non-repeatable internal read",
+    "UnjustifiedRead": "unjustified read",
+    "FutureRead": "future read",
+}
+
+
+def classify_anomalies(anomalies: Sequence[AxiomViolation]) -> str:
+    """Name for a non-cyclic (axiom-level) violation."""
+    labels = []
+    for anomaly in anomalies:
+        label = _AXIOM_LABELS.get(anomaly.axiom, anomaly.axiom)
+        if label not in labels:
+            labels.append(label)
+    return ", ".join(labels) if labels else "axiom violation"
+
+
+def classify_cycle(
+    cycle: Sequence[Edge], graph: Optional[GeneralizedPolygraph] = None
+) -> str:
+    """Name the anomaly class exhibited by an undesired cycle.
+
+    The heuristics follow the canonical shapes:
+
+    - *lost update*: all edges on one key, two writers that both also read
+      the key (the Figure 5 pattern: concurrent read-modify-writes);
+    - *long fork*: two or more non-adjacent RW edges over >= 2 keys with
+      no session edge (the Figure 3 pattern);
+    - *causality violation*: the cycle needs a session edge (the Figures
+      12/13 pattern: a later transaction in a session misses what an
+      earlier one depended on);
+    - *read skew / G-single*: exactly one RW edge over >= 2 keys;
+    - *G0 / G1c*: no RW edge at all — the information/write flow itself is
+      cyclic.
+    """
+    labels = [edge[2] for edge in cycle]
+    keys = {edge[3] for edge in cycle if edge[3] is not None}
+    rw_count = labels.count(RW)
+    has_so = SO in labels
+    has_wr = WR in labels
+
+    if rw_count == 0:
+        if has_so and has_wr:
+            # A later transaction in some session contradicts what an
+            # earlier one observed or wrote: the Figures 12/13 pattern.
+            return "causality violation"
+        return (
+            "cyclic information flow (G1c)" if has_wr else "dirty write cycle (G0)"
+        )
+
+    if _is_lost_update(cycle, graph):
+        return "lost update"
+
+    if has_so:
+        return "causality violation"
+
+    if rw_count == 1:
+        return "read skew (G-single)" if len(keys) > 1 else "lost update"
+
+    if rw_count >= 2 and len(keys) >= 2:
+        return "long fork"
+
+    return "SI violation (cycle)"
+
+
+def _is_lost_update(
+    cycle: Sequence[Edge], graph: Optional[GeneralizedPolygraph]
+) -> bool:
+    """Two transactions read-modify-writing the same key concurrently."""
+    keys = {edge[3] for edge in cycle if edge[3] is not None}
+    if len(keys) != 1:
+        return False
+    if graph is None:
+        # Without transaction contents, fall back to the shape: a short
+        # single-key cycle containing an RW and a WW/RW back-edge.
+        return len(cycle) <= 3
+    (key,) = keys
+    rmw = 0
+    for vertex in {edge[0] for edge in cycle} | {edge[1] for edge in cycle}:
+        txn = graph.vertex_txn(vertex)
+        if txn is None:
+            continue
+        if key in txn.writes and key in txn.external_reads:
+            rmw += 1
+    return rmw >= 2

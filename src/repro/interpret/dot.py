@@ -1,0 +1,75 @@
+"""Graphviz DOT rendering of counterexamples (cf. Figures 5, 12, 13).
+
+The paper integrates Graphviz to visualize final counterexamples; offline
+we emit DOT text that any Graphviz installation renders.  Styling follows
+the figures: solid arrows for certain dependencies, dashed for uncertain,
+green fill for restored ("missing") transactions, and edge labels of the
+form ``WW(key)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .interpretation import Counterexample
+
+__all__ = ["counterexample_to_dot"]
+
+_EDGE_COLOR = {"SO": "gray40", "WR": "black", "WW": "blue3", "RW": "red3"}
+
+
+def _vertex_label(example: "Counterexample", vertex: int) -> str:
+    graph = example.graph
+    txn = graph.vertex_txn(vertex)
+    if txn is None:
+        return "T:init"
+    ops = " ".join(
+        f"{'W' if op.is_write else 'R'}({op.key},{op.value})" for op in txn.ops[:6]
+    )
+    if len(txn.ops) > 6:
+        ops += " ..."
+    return f"{txn.name}\\n{ops}"
+
+
+def counterexample_to_dot(example: "Counterexample", stage: str = "finalized") -> str:
+    """Render one interpretation stage as a DOT digraph.
+
+    ``stage`` is one of ``"recovered"``, ``"resolved"``, ``"finalized"``.
+    """
+    if stage == "finalized":
+        edges = {edge: "certain" for edge in example.finalized}
+    elif stage == "resolved":
+        edges = dict(example.resolved)
+    elif stage == "recovered":
+        edges = dict(example.recovered)
+    else:
+        raise ValueError(f"unknown stage {stage!r}")
+
+    vertices = {e[0] for e in edges} | {e[1] for e in edges}
+    vertices |= {e[0] for e in example.cycle} | {e[1] for e in example.cycle}
+
+    lines = [
+        "digraph counterexample {",
+        '  rankdir="LR";',
+        '  node [shape=box, fontname="Helvetica"];',
+        f'  label="{example.classification}";',
+    ]
+    for vertex in sorted(vertices):
+        style = "filled"
+        fill = "white"
+        if vertex in example.restored_vertices:
+            fill = "palegreen"
+        lines.append(
+            f'  n{vertex} [label="{_vertex_label(example, vertex)}", '
+            f'style="{style}", fillcolor="{fill}"];'
+        )
+    for (u, v, label, key), status in sorted(edges.items(), key=str):
+        text = label if key is None else f"{label}({key})"
+        dashed = ', style="dashed"' if status == "uncertain" else ""
+        color = _EDGE_COLOR.get(label, "black")
+        lines.append(
+            f'  n{u} -> n{v} [label="{text}", color="{color}"{dashed}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Parser for Elle/Jepsen list-append histories (EDN format).
+
+Elle [31] records histories as EDN maps, one operation-set per line::
+
+    {:type :invoke, :f :txn, :process 0,
+     :value [[:append 5 1] [:r 5 nil]]}
+    {:type :ok, :f :txn, :process 0,
+     :value [[:append 5 1] [:r 5 [1]]]}
+
+This module parses the common subset of that format into a
+:class:`~repro.listappend.model.ListHistory`, so PolySI-List can check
+real Jepsen artifacts:
+
+- ``:ok`` operations become committed transactions (their ``:value``
+  carries the observed reads);
+- ``:fail`` operations become aborted transactions;
+- ``:invoke`` lines and ``:info`` (indeterminate) operations are skipped
+  — the checker's completeness is relative to determinate transactions
+  (paper Section 4.5), matching how the paper treats them;
+- ``:process`` numbers become sessions.
+
+The EDN reader supports exactly what these histories need: maps,
+vectors, keywords, integers, strings, nil, and booleans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .model import A, L, ListHistory, ListHistoryBuilder, ListOp
+
+__all__ = ["parse_elle_history", "EdnParseError", "parse_edn"]
+
+
+class EdnParseError(ValueError):
+    """Malformed EDN input."""
+
+
+class Keyword(str):
+    """An EDN keyword (``:foo``); behaves like its name string."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f":{str.__str__(self)}"
+
+
+class _Reader:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> EdnParseError:
+        return EdnParseError(f"{message} at offset {self.pos}")
+
+    def skip_ws(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch in " \t\r\n,":
+                self.pos += 1
+            elif ch == ";":
+                while self.pos < len(text) and text[self.pos] != "\n":
+                    self.pos += 1
+            else:
+                return
+
+    def peek(self) -> Optional[str]:
+        self.skip_ws()
+        if self.pos >= len(self.text):
+            return None
+        return self.text[self.pos]
+
+    def read_value(self):
+        ch = self.peek()
+        if ch is None:
+            raise self.error("unexpected end of input")
+        if ch == "{":
+            return self.read_map()
+        if ch == "[":
+            return self.read_vector("[", "]")
+        if ch == "(":
+            return self.read_vector("(", ")")
+        if ch == '"':
+            return self.read_string()
+        if ch == ":":
+            return self.read_keyword()
+        return self.read_atom()
+
+    def read_map(self) -> dict:
+        self.expect("{")
+        out = {}
+        while True:
+            if self.peek() == "}":
+                self.pos += 1
+                return out
+            key = self.read_value()
+            value = self.read_value()
+            out[key] = value
+
+    def read_vector(self, open_ch: str, close_ch: str) -> list:
+        self.expect(open_ch)
+        out = []
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise self.error(f"unterminated {open_ch!r}")
+            if ch == close_ch:
+                self.pos += 1
+                return out
+            out.append(self.read_value())
+
+    def read_string(self) -> str:
+        self.expect('"')
+        chars: List[str] = []
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            self.pos += 1
+            if ch == '"':
+                return "".join(chars)
+            if ch == "\\":
+                if self.pos >= len(text):
+                    raise self.error("dangling escape")
+                esc = text[self.pos]
+                self.pos += 1
+                chars.append({"n": "\n", "t": "\t"}.get(esc, esc))
+            else:
+                chars.append(ch)
+        raise self.error("unterminated string")
+
+    def read_keyword(self) -> Keyword:
+        self.expect(":")
+        return Keyword(self.read_symbol_text())
+
+    def read_symbol_text(self) -> str:
+        text = self.text
+        start = self.pos
+        while self.pos < len(text) and text[self.pos] not in ' \t\r\n,][}{)(";':
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty symbol")
+        return text[start:self.pos]
+
+    def read_atom(self):
+        token = self.read_symbol_text()
+        if token == "nil":
+            return None
+        if token == "true":
+            return True
+        if token == "false":
+            return False
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        try:
+            return float(token)
+        except ValueError:
+            return token  # bare symbol: keep as string
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise self.error(f"expected {ch!r}")
+        self.pos += 1
+
+
+def parse_edn(text: str):
+    """Parse a single EDN value."""
+    reader = _Reader(text)
+    value = reader.read_value()
+    reader.skip_ws()
+    if reader.pos != len(reader.text):
+        raise reader.error("trailing content")
+    return value
+
+
+def _edn_stream(text: str):
+    reader = _Reader(text)
+    while reader.peek() is not None:
+        yield reader.read_value()
+
+
+def _mop_to_op(mop) -> ListOp:
+    if not isinstance(mop, list) or len(mop) != 3:
+        raise EdnParseError(f"malformed micro-op: {mop!r}")
+    f, key, value = mop
+    if f == "append":
+        return A(key, value)
+    if f == "r":
+        return L(key, tuple(value) if value else ())
+    raise EdnParseError(f"unsupported micro-op {f!r} (list-append expects "
+                        ":append / :r)")
+
+
+def parse_elle_history(text: str) -> ListHistory:
+    """Parse an Elle list-append history (one EDN map per line or a single
+    EDN vector of maps) into a :class:`ListHistory`."""
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        entries = parse_edn(text)
+    else:
+        entries = list(_edn_stream(text))
+
+    builder = ListHistoryBuilder()
+    added = 0
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise EdnParseError(f"expected an operation map, got {entry!r}")
+        op_type = entry.get(Keyword("type")) or entry.get("type")
+        if op_type not in ("ok", "fail"):
+            continue  # :invoke lines and :info (indeterminate) skipped
+        process = entry.get(Keyword("process"), entry.get("process", 0))
+        value = entry.get(Keyword("value")) or entry.get("value") or []
+        ops = [_mop_to_op(mop) for mop in value]
+        if not ops:
+            continue
+        status = "committed" if op_type == "ok" else "aborted"
+        builder.txn(int(process), ops, status=status)
+        added += 1
+    if added == 0:
+        raise EdnParseError("no :ok or :fail transactions in input")
+    return builder.build()

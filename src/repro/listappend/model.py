@@ -1,0 +1,192 @@
+"""List-append histories (the PolySI-List extension, Appendix F).
+
+Elle-style workloads [31] operate on *lists*: a write appends a value, a
+read returns the whole list.  Because every read exposes the full prefix
+of versions, the version order (WW) of observed appends can be inferred
+directly instead of being guessed — the source of PolySI-List's speed in
+Figure 15.
+
+Operations are ``A(key, value)`` (append) and ``L(key, (v1, ..., vk))``
+(read-list).  Transactions and histories mirror the register model in
+:mod:`repro.core.history`, including the UniqueValue assumption (append
+values are globally unique per key).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.history import ABORTED, COMMITTED, HistoryError
+
+__all__ = ["APPEND", "READ_LIST", "ListOp", "A", "L", "ListTransaction",
+           "ListHistory", "ListHistoryBuilder"]
+
+APPEND = "append"
+READ_LIST = "read-list"
+
+
+class ListOp:
+    """One list operation."""
+
+    __slots__ = ("kind", "key", "value")
+
+    def __init__(self, kind: str, key, value):
+        if kind not in (APPEND, READ_LIST):
+            raise HistoryError(f"unknown list operation kind: {kind!r}")
+        if kind == READ_LIST:
+            value = tuple(value)
+        self.kind = kind
+        self.key = key
+        self.value = value
+
+    @property
+    def is_append(self) -> bool:
+        return self.kind == APPEND
+
+    def __repr__(self) -> str:
+        if self.is_append:
+            return f"A({self.key!r}, {self.value!r})"
+        return f"L({self.key!r}, {list(self.value)!r})"
+
+
+def A(key, value) -> ListOp:
+    """Append ``value`` to the list at ``key``."""
+    return ListOp(APPEND, key, value)
+
+
+def L(key, values: Sequence) -> ListOp:
+    """Read the list at ``key``, observing ``values``."""
+    return ListOp(READ_LIST, key, values)
+
+
+class ListTransaction:
+    """A program-ordered sequence of list operations."""
+
+    __slots__ = ("tid", "session", "index", "ops", "status", "_appends",
+                 "_external_reads")
+
+    def __init__(self, tid: int, ops: Sequence[ListOp], *, session: int = 0,
+                 index: int = 0, status: str = COMMITTED):
+        if not ops:
+            raise HistoryError("a transaction must contain at least one operation")
+        self.tid = tid
+        self.session = session
+        self.index = index
+        self.ops = tuple(ops)
+        self.status = status
+        self._appends: Optional[Dict] = None
+        self._external_reads: Optional[Dict] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.status == COMMITTED
+
+    @property
+    def appends(self) -> Dict:
+        """key -> tuple of values this transaction appended, in order."""
+        if self._appends is None:
+            out: Dict = {}
+            for op in self.ops:
+                if op.is_append:
+                    out.setdefault(op.key, []).append(op.value)
+            self._appends = {k: tuple(v) for k, v in out.items()}
+        return self._appends
+
+    @property
+    def external_reads(self) -> Dict:
+        """key -> first observed list before any own append of the key."""
+        if self._external_reads is None:
+            out: Dict = {}
+            appended: set = set()
+            for op in self.ops:
+                if op.is_append:
+                    appended.add(op.key)
+                elif op.key not in appended and op.key not in out:
+                    out[op.key] = op.value
+            self._external_reads = out
+        return self._external_reads
+
+    @property
+    def name(self) -> str:
+        return f"T:({self.session},{self.index})"
+
+    def __repr__(self) -> str:
+        flag = "" if self.committed else "!"
+        return f"LT{flag}({self.session},{self.index})"
+
+
+class ListHistory:
+    """Sessions of list transactions (the analog of ``History``)."""
+
+    __slots__ = ("sessions", "transactions")
+
+    def __init__(self, sessions: Sequence[Sequence[ListTransaction]]):
+        self.sessions = tuple(tuple(s) for s in sessions)
+        txns = [t for sess in self.sessions for t in sess]
+        txns.sort(key=lambda t: t.tid)
+        self.transactions = tuple(txns)
+        for expect, txn in enumerate(self.transactions):
+            if txn.tid != expect:
+                raise HistoryError("transaction ids must be dense 0..n-1")
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def num_operations(self) -> int:
+        return sum(len(t.ops) for t in self.transactions)
+
+    def session_order_pairs(self):
+        """Covering SO pairs over committed transactions, per session."""
+        for sess in self.sessions:
+            committed = [t for t in sess if t.committed]
+            for a, b in zip(committed, committed[1:]):
+                yield a, b
+
+    def __repr__(self) -> str:
+        return (
+            f"ListHistory(sessions={len(self.sessions)}, "
+            f"txns={len(self)}, ops={self.num_operations})"
+        )
+
+
+class ListHistoryBuilder:
+    """Incremental construction, mirroring ``HistoryBuilder``."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[int, List] = {}
+        self._aborted: set = set()
+
+    def txn(self, session: int, ops: Sequence[ListOp], *,
+            status: str = COMMITTED) -> Tuple[int, int]:
+        """Append a transaction to ``session``; returns (session, index)."""
+        sess = self._sessions.setdefault(session, [])
+        idx = len(sess)
+        sess.append(list(ops))
+        if status == ABORTED:
+            self._aborted.add((session, idx))
+        elif status != COMMITTED:
+            raise HistoryError(f"unknown transaction status: {status!r}")
+        return (session, idx)
+
+    def build(self) -> ListHistory:
+        """Materialize the accumulated transactions as a ListHistory."""
+        if not self._sessions:
+            raise HistoryError("cannot build an empty history")
+        sessions = []
+        tid = 0
+        renumber = {s: i for i, s in enumerate(sorted(self._sessions))}
+        for orig in sorted(self._sessions):
+            sess = []
+            for i, ops in enumerate(self._sessions[orig]):
+                status = (
+                    ABORTED if (orig, i) in self._aborted else COMMITTED
+                )
+                sess.append(
+                    ListTransaction(
+                        tid, ops, session=renumber[orig], index=i, status=status
+                    )
+                )
+                tid += 1
+            sessions.append(sess)
+        return ListHistory(sessions)

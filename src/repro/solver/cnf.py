@@ -1,0 +1,107 @@
+"""CNF primitives for the SAT core.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1..n``; the literal ``+v`` asserts the variable, ``-v`` negates it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["VarPool", "CNF", "neg", "var_of", "sign_of"]
+
+
+def neg(lit: int) -> int:
+    """Negate a literal."""
+    return -lit
+
+
+def var_of(lit: int) -> int:
+    """Variable index of a literal."""
+    return lit if lit > 0 else -lit
+
+
+def sign_of(lit: int) -> bool:
+    """True for a positive literal."""
+    return lit > 0
+
+
+class VarPool:
+    """Allocates fresh variable indices, optionally keyed by a label.
+
+    Labels let the encoder look up the variable for e.g. the pair edge
+    ``("dep", u, v)`` without maintaining separate dictionaries.
+    """
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._by_label: dict = {}
+        self._labels: dict = {}
+
+    @property
+    def num_vars(self) -> int:
+        return self._next - 1
+
+    def fresh(self, label=None) -> int:
+        """Allocate a fresh variable, optionally remembered under ``label``."""
+        var = self._next
+        self._next += 1
+        if label is not None:
+            self._by_label[label] = var
+            self._labels[var] = label
+        return var
+
+    def get(self, label) -> int:
+        """Return the variable for ``label``, allocating it if needed."""
+        var = self._by_label.get(label)
+        if var is None:
+            var = self.fresh(label)
+        return var
+
+    def lookup(self, label):
+        """Return the variable for ``label`` or None."""
+        return self._by_label.get(label)
+
+    def label(self, var: int):
+        return self._labels.get(var)
+
+    def labelled_items(self):
+        return self._by_label.items()
+
+
+class CNF:
+    """A clause database under construction."""
+
+    def __init__(self, pool: VarPool | None = None):
+        self.pool = pool or VarPool()
+        self.clauses: List[List[int]] = []
+
+    @property
+    def num_vars(self) -> int:
+        return self.pool.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def add(self, lits: Iterable[int]) -> None:
+        self.clauses.append(list(lits))
+
+    def add_unit(self, lit: int) -> None:
+        self.clauses.append([lit])
+
+    def add_implies(self, premise: int, conclusion: int) -> None:
+        """premise -> conclusion."""
+        self.clauses.append([-premise, conclusion])
+
+    def add_and_gate(self, out: int, inputs: List[int]) -> None:
+        """out <-> AND(inputs) via Tseitin translation."""
+        for lit in inputs:
+            self.clauses.append([-out, lit])
+        self.clauses.append([out] + [-lit for lit in inputs])
+
+    def add_or_gate(self, out: int, inputs: List[int]) -> None:
+        """out <-> OR(inputs) via Tseitin translation."""
+        for lit in inputs:
+            self.clauses.append([-lit, out])
+        self.clauses.append([-out] + list(inputs))

@@ -1,0 +1,114 @@
+"""MonoSAT-style facade: SAT + one acyclic graph (see DESIGN.md, sub. 1).
+
+:class:`AcyclicGraphSolver` exposes the small API PolySI needs from
+MonoSAT:
+
+- allocate Boolean variables and clauses,
+- declare Boolean variables as directed edges of a graph,
+- assert that the graph (restricted to true edges) is acyclic,
+- solve, read back a model,
+- on UNSAT, obtain a *witness resolution*: a model of the clauses alone
+  (ignoring acyclicity), whose true-edge graph necessarily contains a
+  cycle.  The checker extracts its counterexample cycle from that graph,
+  mirroring how PolySI reconstructs cycles from MonoSAT's output logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .cdcl import CDCLSolver
+from .graph import AcyclicityTheory
+
+__all__ = ["AcyclicGraphSolver"]
+
+
+class AcyclicGraphSolver:
+    """SAT solver with a single built-in acyclicity constraint.
+
+    ``static_adj`` optionally supplies the adjacency of an acyclic set of
+    *permanent* edges: paths through them count for cycle detection, but
+    they carry no Boolean variables (see
+    :class:`~repro.solver.graph.AcyclicityTheory`).
+    """
+
+    def __init__(self, num_vertices: int, static_adj=None):
+        self.num_vertices = num_vertices
+        self._solver = CDCLSolver()
+        self._theory = AcyclicityTheory(num_vertices, static_adj)
+        self._solver.attach_theory(self._theory)
+        self._clauses: List[List[int]] = []
+        self._edges: Dict[int, Tuple[int, int]] = {}
+        self._solved: Optional[bool] = None
+
+    # -- construction -------------------------------------------------------
+
+    def new_var(self) -> int:
+        return self._solver.new_var()
+
+    def ensure_vars(self, n: int) -> None:
+        self._solver.ensure_vars(n)
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a CNF clause over previously allocated variables."""
+        lits = list(lits)
+        self._clauses.append(lits)
+        self._solver.add_clause(lits)
+
+    def add_edge(self, var: int, u: int, v: int) -> None:
+        """Declare ``var`` to mean "edge u -> v is present"."""
+        self._theory.register_edge(var, u, v)
+        self._edges[var] = (u, v)
+
+    @property
+    def num_vars(self) -> int:
+        return self._solver.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def stats(self):
+        return self._solver.stats
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self) -> bool:
+        """True iff the clauses admit a model whose edge graph is acyclic."""
+        self._solved = self._solver.solve()
+        return self._solved
+
+    def model_value(self, var: int) -> bool:
+        return self._solver.model_value(var)
+
+    def true_edges(self) -> List[Tuple[int, int, int]]:
+        """(u, v, var) for every edge variable true in the current model."""
+        return [
+            (u, v, var)
+            for var, (u, v) in self._edges.items()
+            if self._solver.model_value(var)
+        ]
+
+    def solve_without_acyclicity(self) -> "CDCLSolver":
+        """Solve the clause set alone, ignoring the graph constraint.
+
+        Used after an UNSAT answer to materialize one concrete resolution
+        of the constraints; its true-edge graph must contain a cycle (or
+        the theory-aware solve would have succeeded).  Returns the plain
+        solver so callers can query the model.
+        """
+        plain = CDCLSolver()
+        plain.ensure_vars(self._solver.num_vars)
+        for clause in self._clauses:
+            plain.add_clause(list(clause))
+        if not plain.solve():
+            raise RuntimeError(
+                "constraint clauses are unsatisfiable even without the "
+                "acyclicity requirement; the encoding is inconsistent"
+            )
+        return plain

@@ -1,0 +1,18 @@
+"""Database substrate: MVCC store, isolation levels, faults, clients."""
+
+from .mvcc import Version, VersionStore
+from .faults import DATABASE_PROFILES, FaultConfig
+from .database import ISOLATION_LEVELS, MVCCDatabase, TransactionHandle
+from .client import WorkloadRun, run_workload
+
+__all__ = [
+    "Version",
+    "VersionStore",
+    "DATABASE_PROFILES",
+    "FaultConfig",
+    "ISOLATION_LEVELS",
+    "MVCCDatabase",
+    "TransactionHandle",
+    "WorkloadRun",
+    "run_workload",
+]

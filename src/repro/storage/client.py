@@ -1,0 +1,112 @@
+"""Client sessions and the history recorder.
+
+``run_workload`` plays a workload specification against a database,
+interleaving sessions at *operation* granularity with a seeded scheduler
+(our single-threaded stand-in for the paper's concurrent client threads)
+and recording the client-observable history — exactly what a black-box
+checker gets to see.
+
+A workload specification is ``spec[session][txn] = [op, ...]`` where each
+op is ``("r", key)`` or ``("w", key, value)``; the generators in
+:mod:`repro.workloads` produce this format with globally unique written
+values (the UniqueValue assumption of Section 2.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.history import ABORTED, COMMITTED, History, HistoryBuilder, R, W
+from .database import MVCCDatabase
+
+__all__ = ["run_workload", "WorkloadRun"]
+
+
+class WorkloadRun:
+    """The recorded outcome of one workload execution."""
+
+    __slots__ = ("history", "committed", "aborted")
+
+    def __init__(self, history: History, committed: int, aborted: int):
+        self.history = history
+        self.committed = committed
+        self.aborted = aborted
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadRun(committed={self.committed}, aborted={self.aborted}, "
+            f"history={self.history!r})"
+        )
+
+
+class _SessionState:
+    __slots__ = ("session_id", "txns", "txn_index", "op_index", "handle", "observed")
+
+    def __init__(self, session_id: int, txns: Sequence):
+        self.session_id = session_id
+        self.txns = txns
+        self.txn_index = 0
+        self.op_index = 0
+        self.handle = None
+        self.observed: list = []
+
+    @property
+    def done(self) -> bool:
+        return self.txn_index >= len(self.txns)
+
+
+def run_workload(
+    db: MVCCDatabase,
+    spec: Sequence[Sequence[Sequence[tuple]]],
+    *,
+    seed: int = 0,
+    record_aborted: bool = True,
+) -> WorkloadRun:
+    """Execute ``spec`` against ``db`` with a seeded random interleaving.
+
+    Returns the recorded :class:`~repro.core.history.History`.  Aborted
+    transactions are recorded with ``ABORTED`` status when
+    ``record_aborted`` (the checker's determinate-transaction model);
+    otherwise they are dropped from the history.
+    """
+    rng = random.Random(seed)
+    builder = HistoryBuilder()
+    states = [
+        _SessionState(sid, session_spec) for sid, session_spec in enumerate(spec)
+    ]
+    committed = aborted = 0
+
+    # Ensure every session appears in the history even if it only aborts.
+    pending = [s for s in states if not s.done]
+    while pending:
+        state = rng.choice(pending)
+        txn_spec = state.txns[state.txn_index]
+        if state.handle is None:
+            state.handle = db.begin(state.session_id)
+            state.observed = []
+            state.op_index = 0
+        if state.op_index < len(txn_spec):
+            op = txn_spec[state.op_index]
+            state.op_index += 1
+            if op[0] == "w":
+                db.write(state.handle, op[1], op[2])
+                state.observed.append(W(op[1], op[2]))
+            else:
+                value = db.read(state.handle, op[1])
+                state.observed.append(R(op[1], value))
+        if state.op_index >= len(txn_spec):
+            ok = db.commit(state.handle)
+            if ok:
+                committed += 1
+                builder.txn(state.session_id, state.observed, status=COMMITTED)
+            else:
+                aborted += 1
+                if record_aborted:
+                    builder.txn(state.session_id, state.observed, status=ABORTED)
+            state.handle = None
+            state.txn_index += 1
+            if state.done:
+                pending = [s for s in pending if s is not state]
+
+    return WorkloadRun(builder.build(), committed, aborted)

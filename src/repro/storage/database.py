@@ -1,0 +1,241 @@
+"""An in-memory transactional MVCC database (the system under test).
+
+This is the substrate standing in for PostgreSQL and the production cloud
+databases of the paper (DESIGN.md, substitution 2).  It implements:
+
+- **snapshot isolation** (default): transactions read from a fixed
+  snapshot taken at begin and commit only if no concurrent transaction
+  updated a key they wrote (first-committer-wins) — the textbook SI of
+  Berenson et al. [5].  Because begin always snapshots the session's own
+  replica at its current local time, the *strong session* guarantee holds.
+- **serializable**: snapshot reads plus read-set validation at commit
+  (an OCC scheme: all of a committed transaction's reads and writes are
+  valid at its commit point, so commit order is a serial order).
+- **read committed**: each read sees the latest committed value at read
+  time; no validation.  Produces non-SI histories by design.
+
+Faults (see :mod:`repro.storage.faults`) selectively break these
+guarantees to emulate the bugs the paper found in production systems.
+Multi-replica configurations model asynchronous multi-master replication:
+each replica applies remote commits after a delay, and sessions are pinned
+to replicas, which yields long-fork anomalies under concurrent writes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..core.history import INITIAL_VALUE
+from .faults import FaultConfig
+from .mvcc import VersionStore
+
+__all__ = ["MVCCDatabase", "TransactionHandle", "ISOLATION_LEVELS"]
+
+ISOLATION_LEVELS = ("snapshot", "serializable", "read_committed")
+
+
+class TransactionHandle:
+    """Server-side state of one in-flight transaction."""
+
+    __slots__ = (
+        "txid",
+        "session",
+        "replica",
+        "snapshot_ts",
+        "buffer",
+        "write_log",
+        "read_cache",
+        "read_keys",
+        "active",
+    )
+
+    def __init__(self, txid: int, session: int, replica: int, snapshot_ts: int):
+        self.txid = txid
+        self.session = session
+        self.replica = replica
+        self.snapshot_ts = snapshot_ts
+        self.buffer: Dict[object, object] = {}
+        self.write_log: List[Tuple[object, object]] = []
+        self.read_cache: Dict[object, object] = {}
+        self.read_keys: set = set()
+        self.active = True
+
+
+class MVCCDatabase:
+    """The transactional key-value store clients talk to."""
+
+    def __init__(
+        self,
+        *,
+        isolation: str = "snapshot",
+        faults: Optional[FaultConfig] = None,
+        seed: int = 0,
+    ):
+        if isolation not in ISOLATION_LEVELS:
+            raise ValueError(f"unknown isolation level: {isolation!r}")
+        self.isolation = isolation
+        self.faults = faults or FaultConfig()
+        self._rng = random.Random(seed)
+        n_replicas = max(1, self.faults.replicas)
+        self._stores = [VersionStore() for _ in range(n_replicas)]
+        self._local_ts = [0] * n_replicas
+        self._global_seq = 0
+        self._next_txid = 0
+        self._active: Dict[int, TransactionHandle] = {}
+        # Per-replica queue of (due_seq, [(key, final, intermediates)], txid).
+        self._pending: List[deque] = [deque() for _ in range(n_replicas)]
+        self.stats = {"commits": 0, "aborts": 0, "begins": 0}
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._stores)
+
+    def replica_of(self, session: int) -> int:
+        return session % self.num_replicas
+
+    def _apply_pending(self) -> None:
+        for replica, queue in enumerate(self._pending):
+            while queue and queue[0][0] <= self._global_seq:
+                _due, writes, txid = queue.popleft()
+                self._install(replica, writes, txid)
+
+    def _install(self, replica: int, writes, txid: int) -> None:
+        store = self._stores[replica]
+        self._local_ts[replica] += 1
+        ts = self._local_ts[replica]
+        for key, final, intermediates in writes:
+            store.install(key, final, ts, txid)
+            for value in intermediates:
+                store.record_intermediate(key, value, txid)
+
+    # -- transaction API -------------------------------------------------------
+
+    def begin(self, session: int) -> TransactionHandle:
+        """Start a transaction for ``session`` (snapshot at its replica)."""
+        self._apply_pending()
+        replica = self.replica_of(session)
+        snapshot_ts = self._local_ts[replica]
+        faults = self.faults
+        if faults.stale_snapshot_prob and (
+            self._rng.random() < faults.stale_snapshot_prob
+        ):
+            snapshot_ts = max(
+                0, snapshot_ts - self._rng.randint(1, faults.stale_snapshot_depth)
+            )
+        txn = TransactionHandle(self._next_txid, session, replica, snapshot_ts)
+        self._next_txid += 1
+        self._active[txn.txid] = txn
+        self.stats["begins"] += 1
+        return txn
+
+    def read(self, txn: TransactionHandle, key) -> object:
+        """Read ``key``: own buffer first, then the snapshot (faults may
+        intercept)."""
+        if not txn.active:
+            raise RuntimeError("transaction is no longer active")
+        if key in txn.buffer:
+            return txn.buffer[key]
+        faults = self.faults
+        store = self._stores[txn.replica]
+        # Fault: observe another in-flight transaction's buffered write.
+        if faults.read_uncommitted_prob and (
+            self._rng.random() < faults.read_uncommitted_prob
+        ):
+            dirty = [
+                other.buffer[key]
+                for other in self._active.values()
+                if other is not txn and key in other.buffer
+            ]
+            if dirty:
+                value = self._rng.choice(dirty)
+                txn.read_keys.add(key)
+                return value
+        # Fault: observe an overwritten (intermediate) committed value.
+        if faults.intermediate_read_prob and (
+            self._rng.random() < faults.intermediate_read_prob
+        ):
+            pool = store.intermediate_writes.get(key)
+            if pool:
+                value, _txid = self._rng.choice(pool)
+                txn.read_keys.add(key)
+                return value
+        if self.isolation == "read_committed":
+            value = store.read_at(key, self._local_ts[txn.replica])
+            txn.read_keys.add(key)
+            return value
+        if key in txn.read_cache:
+            return txn.read_cache[key]
+        value = store.read_at(key, txn.snapshot_ts)
+        txn.read_cache[key] = value
+        txn.read_keys.add(key)
+        return value
+
+    def write(self, txn: TransactionHandle, key, value) -> None:
+        """Buffer a write; becomes visible only on commit."""
+        if not txn.active:
+            raise RuntimeError("transaction is no longer active")
+        txn.buffer[key] = value
+        txn.write_log.append((key, value))
+
+    def abort(self, txn: TransactionHandle) -> None:
+        """Abandon the transaction; buffered writes are discarded."""
+        txn.active = False
+        self._active.pop(txn.txid, None)
+        self.stats["aborts"] += 1
+
+    def commit(self, txn: TransactionHandle) -> bool:
+        """Attempt to commit; returns False if the transaction aborted."""
+        if not txn.active:
+            raise RuntimeError("transaction is no longer active")
+        faults = self.faults
+        if faults.abort_prob and self._rng.random() < faults.abort_prob:
+            self.abort(txn)
+            return False
+        store = self._stores[txn.replica]
+        if txn.buffer and self.isolation != "read_committed":
+            if not faults.no_first_committer_wins:
+                for key in txn.buffer:
+                    if store.newer_than(key, txn.snapshot_ts):
+                        self.abort(txn)
+                        return False
+        if self.isolation == "serializable":
+            for key in txn.read_keys:
+                if store.newer_than(key, txn.snapshot_ts):
+                    self.abort(txn)
+                    return False
+        txn.active = False
+        self._active.pop(txn.txid, None)
+        if txn.buffer:
+            writes = self._collect_writes(txn)
+            self._install(txn.replica, writes, txn.txid)
+            self._global_seq += 1
+            delay = faults.replication_delay
+            for replica in range(self.num_replicas):
+                if replica != txn.replica:
+                    self._pending[replica].append(
+                        (self._global_seq + delay, writes, txn.txid)
+                    )
+            self._apply_pending()
+        self.stats["commits"] += 1
+        return True
+
+    @staticmethod
+    def _collect_writes(txn: TransactionHandle):
+        """Group the write log into (key, final_value, intermediates)."""
+        per_key: Dict[object, List[object]] = {}
+        for key, value in txn.write_log:
+            per_key.setdefault(key, []).append(value)
+        return [
+            (key, values[-1], values[:-1]) for key, values in per_key.items()
+        ]
+
+    # -- inspection ---------------------------------------------------------------
+
+    def committed_value(self, key, replica: int = 0) -> object:
+        """Latest committed value on ``replica`` (testing convenience)."""
+        version = self._stores[replica].latest(key)
+        return INITIAL_VALUE if version is None else version.value

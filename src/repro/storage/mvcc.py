@@ -1,0 +1,86 @@
+"""Multi-version storage engine underlying the database substrate.
+
+A :class:`VersionStore` keeps, per key, the full committed version chain
+``(commit_ts, value, txid)`` ordered by commit timestamp.  Snapshot reads
+("latest version with commit_ts <= snapshot") are binary searches.  The
+store also records *intermediate* writes (non-final writes of multi-write
+transactions) so the fault injector can leak them (IntermediateReads).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from ..core.history import INITIAL_VALUE
+
+__all__ = ["Version", "VersionStore"]
+
+
+class Version:
+    """One committed version of a key."""
+
+    __slots__ = ("commit_ts", "value", "txid")
+
+    def __init__(self, commit_ts: int, value, txid: int):
+        self.commit_ts = commit_ts
+        self.value = value
+        self.txid = txid
+
+    def __repr__(self) -> str:
+        return f"Version(ts={self.commit_ts}, value={self.value!r}, tx={self.txid})"
+
+
+class VersionStore:
+    """Committed version chains, keyed by commit timestamp."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[object, List[Version]] = {}
+        self._ts_index: Dict[object, List[int]] = {}
+        # Intermediate (overwritten-within-transaction) values, per key.
+        self.intermediate_writes: Dict[object, List[Tuple[object, int]]] = {}
+
+    def install(self, key, value, commit_ts: int, txid: int) -> None:
+        """Append a committed version; timestamps must be monotonic per key."""
+        chain = self._chains.setdefault(key, [])
+        index = self._ts_index.setdefault(key, [])
+        if index and commit_ts <= index[-1]:
+            raise ValueError(
+                f"non-monotonic commit timestamp {commit_ts} for key {key!r}"
+            )
+        chain.append(Version(commit_ts, value, txid))
+        index.append(commit_ts)
+
+    def record_intermediate(self, key, value, txid: int) -> None:
+        self.intermediate_writes.setdefault(key, []).append((value, txid))
+
+    def read_at(self, key, snapshot_ts: int) -> object:
+        """Latest committed value with commit_ts <= snapshot_ts, or the
+        initial value."""
+        version = self.version_at(key, snapshot_ts)
+        return INITIAL_VALUE if version is None else version.value
+
+    def version_at(self, key, snapshot_ts: int) -> Optional[Version]:
+        """Latest Version with commit_ts <= snapshot_ts, or None."""
+        index = self._ts_index.get(key)
+        if not index:
+            return None
+        pos = bisect_right(index, snapshot_ts)
+        if pos == 0:
+            return None
+        return self._chains[key][pos - 1]
+
+    def latest(self, key) -> Optional[Version]:
+        chain = self._chains.get(key)
+        return chain[-1] if chain else None
+
+    def newer_than(self, key, ts: int) -> bool:
+        """True iff some committed version of ``key`` has commit_ts > ts."""
+        latest = self.latest(key)
+        return latest is not None and latest.commit_ts > ts
+
+    def chain(self, key) -> List[Version]:
+        return list(self._chains.get(key, ()))
+
+    def keys(self):
+        return self._chains.keys()

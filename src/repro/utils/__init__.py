@@ -1,0 +1,17 @@
+"""Shared utilities: graph reachability kernels."""
+
+from .reachability import (
+    Reachability,
+    is_acyclic,
+    tarjan_scc,
+    transitive_closure_bits,
+    transitive_closure_numpy,
+)
+
+__all__ = [
+    "Reachability",
+    "is_acyclic",
+    "tarjan_scc",
+    "transitive_closure_bits",
+    "transitive_closure_numpy",
+]

@@ -1,0 +1,205 @@
+"""Graph reachability kernels used by constraint pruning (Section 4.3).
+
+The paper computes reachability of the known induced graph with
+Floyd–Warshall (O(n^3)).  In Python that is prohibitively slow, so the
+default kernel condenses strongly connected components (iterative Tarjan)
+and propagates *bitset* reachability rows (arbitrary-precision ints) in
+reverse topological order — O(n * E / 64) in practice and exact.
+
+A numpy dense boolean-matrix variant is provided as the stand-in for
+Cobra's GPU-accelerated closure (see DESIGN.md, substitution 3): the same
+algorithmic role with a different constant factor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "tarjan_scc",
+    "transitive_closure_bits",
+    "transitive_closure_numpy",
+    "transitive_closure_sets",
+    "is_acyclic",
+    "Reachability",
+]
+
+
+def is_acyclic(n: int, succ: "Sequence[Iterable[int]]") -> bool:
+    """True iff the graph has no directed cycle (self-loops included)."""
+    for u in range(n):
+        for v in succ[u]:
+            if v == u:
+                return False
+    return all(len(comp) == 1 for comp in tarjan_scc(n, succ))
+
+
+def tarjan_scc(n: int, succ: Sequence[Iterable[int]]) -> List[List[int]]:
+    """Strongly connected components, emitted in reverse topological order.
+
+    Iterative Tarjan (explicit stack) so deep graphs do not hit the
+    recursion limit.  ``succ[u]`` lists the successors of vertex ``u``.
+    """
+    index = [0] * n
+    low = [0] * n
+    on_stack = bytearray(n)
+    visited = bytearray(n)
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 1
+
+    for root in range(n):
+        if visited[root]:
+            continue
+        # Each frame is (vertex, iterator over its successors).
+        work = [(root, iter(succ[root]))]
+        visited[root] = 1
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = 1
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if not visited[w]:
+                    visited[w] = 1
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack[w] = 1
+                    work.append((w, iter(succ[w])))
+                    advanced = True
+                    break
+                if on_stack[w] and index[w] < low[v]:
+                    low[v] = index[w]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[v] < low[parent]:
+                    low[parent] = low[v]
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = 0
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(comp)
+    return sccs
+
+
+class Reachability:
+    """Strict reachability oracle: ``has(u, v)`` iff a path of length >= 1
+    leads from ``u`` to ``v`` (``u`` reaches itself only via a cycle)."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: List[int]):
+        self.rows = rows
+
+    def has(self, u: int, v: int) -> bool:
+        return bool((self.rows[u] >> v) & 1)
+
+    def reaches_any(self, u: int, targets: int) -> bool:
+        """``targets`` is a bitmask of candidate vertices."""
+        return bool(self.rows[u] & targets)
+
+
+def transitive_closure_bits(n: int, succ: Sequence[Iterable[int]]) -> Reachability:
+    """Exact strict transitive closure using bitset rows.
+
+    Handles cyclic graphs by condensing SCCs first; members of a non-trivial
+    SCC (or a vertex with a self-loop) reach themselves.
+    """
+    sccs = tarjan_scc(n, succ)
+    comp_of = [0] * n
+    for cid, comp in enumerate(sccs):
+        for v in comp:
+            comp_of[v] = cid
+
+    member_bits = [0] * len(sccs)
+    for cid, comp in enumerate(sccs):
+        bits = 0
+        for v in comp:
+            bits |= 1 << v
+        member_bits[cid] = bits
+
+    # Tarjan emits SCCs in reverse topological order: every successor
+    # component of sccs[i] appears at an index < i, so one forward pass
+    # suffices.
+    comp_reach = [0] * len(sccs)
+    for cid, comp in enumerate(sccs):
+        row = 0
+        internal = len(comp) > 1
+        for v in comp:
+            for w in succ[v]:
+                wc = comp_of[w]
+                if wc == cid:
+                    internal = True  # self-loop or intra-SCC edge
+                else:
+                    row |= member_bits[wc] | comp_reach[wc]
+        if internal:
+            row |= member_bits[cid]
+        comp_reach[cid] = row
+
+    rows = [comp_reach[comp_of[v]] for v in range(n)]
+    return Reachability(rows)
+
+
+def transitive_closure_sets(n: int, succ: Sequence[Iterable[int]]) -> Reachability:
+    """Naive per-node BFS closure over Python sets.
+
+    This is the *unaccelerated* kernel: the stand-in for running Cobra's
+    reachability without its GPU (see the CobraSI baseline).  Same results
+    as :func:`transitive_closure_bits`, much larger constants.
+    """
+    rows: List[int] = []
+    adj = [list(row) for row in succ]
+    for src in range(n):
+        seen: set = set()
+        stack = list(adj[src])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adj[node])
+        row = 0
+        for node in seen:
+            row |= 1 << node
+        rows.append(row)
+    return Reachability(rows)
+
+
+def transitive_closure_numpy(n: int, succ: Sequence[Iterable[int]]) -> Reachability:
+    """Dense boolean-matrix closure by repeated squaring (GPU stand-in).
+
+    Same result as :func:`transitive_closure_bits`; used by the
+    "CobraSI w/ GPU" baseline variant and the pruning-kernel ablation.
+    """
+    if n == 0:
+        return Reachability([])
+    mat = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        for v in succ[u]:
+            mat[u, v] = True
+    reach = mat.copy()
+    # (A + A^2 + ...) converges within ceil(log2(n)) squarings.
+    while True:
+        nxt = reach | (reach @ reach)
+        if (nxt == reach).all():
+            break
+        reach = nxt
+    rows = []
+    for u in range(n):
+        row = 0
+        for v in np.flatnonzero(reach[u]):
+            row |= 1 << int(v)
+        rows.append(row)
+    return Reachability(rows)

@@ -1,0 +1,30 @@
+"""Workload generation: parametric, benchmark mixes, anomaly corpus."""
+
+from .keydist import HotspotKeys, UniformKeys, ZipfianKeys, make_distribution
+from .generator import WorkloadParams, generate_history, generate_workload
+from .benchmarks import (
+    BENCHMARK_WORKLOADS,
+    ctwitter_workload,
+    rubis_workload,
+    tpcc_workload,
+)
+from .corpus import ANOMALY_TEMPLATES, known_anomaly_corpus, make_anomaly
+from .random_histories import random_history
+
+__all__ = [
+    "HotspotKeys",
+    "UniformKeys",
+    "ZipfianKeys",
+    "make_distribution",
+    "WorkloadParams",
+    "generate_history",
+    "generate_workload",
+    "BENCHMARK_WORKLOADS",
+    "ctwitter_workload",
+    "rubis_workload",
+    "tpcc_workload",
+    "ANOMALY_TEMPLATES",
+    "known_anomaly_corpus",
+    "make_anomaly",
+    "random_history",
+]

@@ -1,0 +1,256 @@
+"""The three synthetic benchmarks of Section 5.1.1: RUBiS, TPC-C, C-Twitter.
+
+Each generator emits the same workload-spec format as the parametric
+generator, modelling the benchmark's transaction mix over a keyed
+data model.  Scales are parameterized; the paper's configurations (20k
+users / 200k items for RUBiS, 1 warehouse / 10 districts / 30k customers
+for TPC-C, zipfian followers for C-Twitter) are the defaults divided by
+``scale`` so Python-sized runs keep the access patterns.
+
+Transaction mixes:
+
+- **RUBiS** (eBay-like bidding): register user, store bid (read item,
+  write bid, update item), view item, browse categories, about-me.
+- **TPC-C** (wholesale supplier): new-order, payment, order-status,
+  delivery, stock-level.  New-order and payment are *read-modify-write*
+  transactions — every write is preceded by a read of the same key —
+  which is why PolySI resolves all of TPC-C's constraints during pruning
+  (Table 3) and why Cobra's RMW inference shines there (Figure 8).
+- **C-Twitter** (Twitter clone): tweet, follow/unfollow, read timeline,
+  with zipfian-popular users.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from .keydist import ZipfianKeys
+
+__all__ = [
+    "rubis_workload",
+    "tpcc_workload",
+    "ctwitter_workload",
+    "BENCHMARK_WORKLOADS",
+]
+
+
+class _UniqueValues:
+    """Globally unique written values (UniqueValue assumption)."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def next(self) -> int:
+        self.counter += 1
+        return self.counter
+
+
+def _spread(txns: List[list], sessions: int) -> List[List[list]]:
+    """Round-robin transactions across sessions."""
+    spec: List[List[list]] = [[] for _ in range(sessions)]
+    for i, txn in enumerate(txns):
+        spec[i % sessions].append(txn)
+    return [s for s in spec if s]
+
+
+# -- RUBiS --------------------------------------------------------------------------
+
+
+def rubis_workload(
+    *,
+    sessions: int = 20,
+    total_txns: int = 400,
+    users: int = 200,
+    items: int = 2000,
+    seed: int = 0,
+) -> List[List[list]]:
+    """An eBay-like bidding mix (paper: 20k users, 200k items)."""
+    rng = random.Random(seed)
+    values = _UniqueValues()
+    user_dist = ZipfianKeys(users)
+    item_dist = ZipfianKeys(items)
+    txns: List[list] = []
+
+    def register_user() -> list:
+        user = f"user:{values.next()}"
+        return [("w", user, values.next())]
+
+    def store_bid() -> list:
+        item = f"item:{item_dist.sample(rng)}"
+        bid = f"bid:{values.next()}"
+        return [
+            ("r", item),
+            ("w", bid, values.next()),
+            ("w", item, values.next()),
+        ]
+
+    def view_item() -> list:
+        item = f"item:{item_dist.sample(rng)}"
+        return [("r", item), ("r", f"user:{user_dist.sample(rng)}")]
+
+    def browse() -> list:
+        return [("r", f"item:{item_dist.sample(rng)}") for _ in range(4)]
+
+    def about_me() -> list:
+        user = f"user:{user_dist.sample(rng)}"
+        return [("r", user), ("r", f"item:{item_dist.sample(rng)}")]
+
+    mix: List[tuple] = [
+        (register_user, 0.05),
+        (store_bid, 0.35),
+        (view_item, 0.30),
+        (browse, 0.20),
+        (about_me, 0.10),
+    ]
+    for _ in range(total_txns):
+        pick = rng.random()
+        acc = 0.0
+        for fn, weight in mix:
+            acc += weight
+            if pick <= acc:
+                txns.append(fn())
+                break
+        else:
+            txns.append(browse())
+    return _spread(txns, sessions)
+
+
+# -- TPC-C --------------------------------------------------------------------------
+
+
+def tpcc_workload(
+    *,
+    sessions: int = 20,
+    total_txns: int = 400,
+    warehouses: int = 1,
+    districts: int = 10,
+    customers: int = 300,
+    stock_items: int = 1000,
+    seed: int = 0,
+) -> List[List[list]]:
+    """A TPC-C-style order-processing mix (paper: 1 wh, 10 districts, 30k
+    customers).  Dominated by read-modify-write transactions."""
+    rng = random.Random(seed)
+    values = _UniqueValues()
+    txns: List[list] = []
+
+    def wh() -> str:
+        return f"w:{rng.randrange(warehouses)}"
+
+    def district() -> str:
+        return f"d:{rng.randrange(districts)}"
+
+    def customer() -> str:
+        return f"c:{rng.randrange(customers)}"
+
+    def stock() -> str:
+        return f"s:{rng.randrange(stock_items)}"
+
+    def new_order() -> list:
+        d = district()
+        ops = [("r", wh()), ("r", d), ("w", d, values.next()), ("r", customer())]
+        order = f"o:{values.next()}"
+        ops.append(("w", order, values.next()))
+        for _ in range(rng.randint(2, 5)):
+            s = stock()
+            ops.append(("r", s))
+            ops.append(("w", s, values.next()))
+        return ops
+
+    def payment() -> list:
+        w, d, c = wh(), district(), customer()
+        return [
+            ("r", w), ("w", w, values.next()),
+            ("r", d), ("w", d, values.next()),
+            ("r", c), ("w", c, values.next()),
+        ]
+
+    def order_status() -> list:
+        return [("r", customer()), ("r", district())]
+
+    def delivery() -> list:
+        d = district()
+        c = customer()
+        return [("r", d), ("r", c), ("w", c, values.next())]
+
+    def stock_level() -> list:
+        return [("r", district())] + [("r", stock()) for _ in range(4)]
+
+    mix = [
+        (new_order, 0.45),
+        (payment, 0.43),
+        (order_status, 0.04),
+        (delivery, 0.04),
+        (stock_level, 0.04),
+    ]
+    for _ in range(total_txns):
+        pick = rng.random()
+        acc = 0.0
+        for fn, weight in mix:
+            acc += weight
+            if pick <= acc:
+                txns.append(fn())
+                break
+        else:
+            txns.append(stock_level())
+    return _spread(txns, sessions)
+
+
+# -- C-Twitter ----------------------------------------------------------------------
+
+
+def ctwitter_workload(
+    *,
+    sessions: int = 20,
+    total_txns: int = 400,
+    users: int = 500,
+    seed: int = 0,
+) -> List[List[list]]:
+    """A Twitter-clone mix with zipfian-popular users."""
+    rng = random.Random(seed)
+    values = _UniqueValues()
+    user_dist = ZipfianKeys(users)
+    txns: List[list] = []
+
+    def tweet() -> list:
+        user = user_dist.sample(rng)
+        timeline = f"tl:{user}"
+        return [
+            ("w", f"tweet:{values.next()}", values.next()),
+            ("r", timeline),
+            ("w", timeline, values.next()),
+        ]
+
+    def follow() -> list:
+        follower = user_dist.sample(rng)
+        followee = user_dist.sample(rng)
+        key = f"followers:{followee}"
+        return [("r", key), ("w", key, values.next()), ("r", f"tl:{follower}")]
+
+    def read_timeline() -> list:
+        user = user_dist.sample(rng)
+        return [("r", f"tl:{user}"), ("r", f"followers:{user}")]
+
+    mix = [(tweet, 0.4), (follow, 0.2), (read_timeline, 0.4)]
+    for _ in range(total_txns):
+        pick = rng.random()
+        acc = 0.0
+        for fn, weight in mix:
+            acc += weight
+            if pick <= acc:
+                txns.append(fn())
+                break
+        else:
+            txns.append(read_timeline())
+    return _spread(txns, sessions)
+
+
+#: Name -> factory, used by the Figure 8/9/10 and Table 3 benches.  The
+#: General{RH,RW,WH} workloads come from the parametric generator (95%,
+#: 50%, 30% reads; Section 5.1.1).
+BENCHMARK_WORKLOADS: Dict[str, Callable] = {
+    "RUBiS": rubis_workload,
+    "TPC-C": tpcc_workload,
+    "C-Twitter": ctwitter_workload,
+}

@@ -1,0 +1,121 @@
+"""The parametric workload generator (paper Section 5.1.1).
+
+Parameters mirror the paper's Rust generator: number of client sessions,
+transactions per session, operations per transaction, read proportion,
+total keys, and the key-access distribution.  Written values are globally
+unique (a single counter — the paper uses client id + local counter),
+satisfying the UniqueValue assumption.
+
+The output is a workload *specification* (see
+:mod:`repro.storage.client`), independent of any database: the same spec
+can be executed against the correct SI store, the serializable store (for
+the Cobra comparisons), or a fault-injected store.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .keydist import make_distribution
+
+__all__ = ["WorkloadParams", "generate_workload", "generate_history"]
+
+
+class WorkloadParams:
+    """Generator knobs, with the paper's defaults.
+
+    The paper defaults to 20 sessions x 100 txns x 15 ops, 50% reads,
+    10k keys, zipfian.  Python-scale experiments usually pass smaller
+    numbers; the *structure* is what matters (see EXPERIMENTS.md).
+    """
+
+    __slots__ = (
+        "sessions",
+        "txns_per_session",
+        "ops_per_txn",
+        "read_proportion",
+        "keys",
+        "distribution",
+    )
+
+    def __init__(
+        self,
+        *,
+        sessions: int = 20,
+        txns_per_session: int = 100,
+        ops_per_txn: int = 15,
+        read_proportion: float = 0.5,
+        keys: int = 10_000,
+        distribution: str = "zipfian",
+    ):
+        if sessions <= 0 or txns_per_session <= 0 or ops_per_txn <= 0:
+            raise ValueError("sessions, txns, and ops must be positive")
+        if not 0.0 <= read_proportion <= 1.0:
+            raise ValueError("read_proportion must be within [0, 1]")
+        self.sessions = sessions
+        self.txns_per_session = txns_per_session
+        self.ops_per_txn = ops_per_txn
+        self.read_proportion = read_proportion
+        self.keys = keys
+        self.distribution = distribution
+
+    @property
+    def total_txns(self) -> int:
+        return self.sessions * self.txns_per_session
+
+    @property
+    def total_ops(self) -> int:
+        return self.total_txns * self.ops_per_txn
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadParams(sessions={self.sessions}, "
+            f"txns/sess={self.txns_per_session}, ops/txn={self.ops_per_txn}, "
+            f"reads={self.read_proportion:.0%}, keys={self.keys}, "
+            f"dist={self.distribution})"
+        )
+
+
+def generate_workload(params: WorkloadParams, *, seed: int = 0) -> List[List[list]]:
+    """Produce ``spec[session][txn] = [("r", key) | ("w", key, value)]``."""
+    rng = random.Random(seed)
+    dist = make_distribution(params.distribution, params.keys)
+    value_counter = 0
+    spec: List[List[list]] = []
+    for _session in range(params.sessions):
+        session_txns = []
+        for _txn in range(params.txns_per_session):
+            ops = []
+            for _op in range(params.ops_per_txn):
+                key = f"k{dist.sample(rng)}"
+                if rng.random() < params.read_proportion:
+                    ops.append(("r", key))
+                else:
+                    value_counter += 1
+                    ops.append(("w", key, value_counter))
+            session_txns.append(ops)
+        spec.append(session_txns)
+    return spec
+
+
+def generate_history(
+    params: WorkloadParams,
+    *,
+    seed: int = 0,
+    isolation: str = "snapshot",
+    faults=None,
+    record_aborted: bool = True,
+):
+    """Generate a workload and execute it on a fresh database.
+
+    Convenience wrapper used all over the benchmarks: returns the
+    :class:`~repro.storage.client.WorkloadRun` whose ``history`` is ready
+    for checking.
+    """
+    from ..storage.client import run_workload
+    from ..storage.database import MVCCDatabase
+
+    spec = generate_workload(params, seed=seed)
+    db = MVCCDatabase(isolation=isolation, faults=faults, seed=seed + 1)
+    return run_workload(db, spec, seed=seed + 2, record_aborted=record_aborted)

@@ -1,0 +1,126 @@
+"""Key-access distributions for the workload generator (Section 5.1.1).
+
+The paper's generator supports *uniform*, *zipfian* (default), and
+*hotspot* (80% of operations touch 20% of keys).  The zipfian sampler
+uses the Gray et al. inverse-transform construction popularized by YCSB,
+with an approximated harmonic number for very large key spaces, so the
+Figure 11 scalability workloads (a billion keys in the paper) can sample
+keys in O(1) without materializing anything.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["UniformKeys", "ZipfianKeys", "HotspotKeys", "make_distribution"]
+
+
+class UniformKeys:
+    """Every key equally likely."""
+
+    name = "uniform"
+
+    def __init__(self, num_keys: int):
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = num_keys
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.num_keys)
+
+
+class ZipfianKeys:
+    """Zipf-distributed keys (rank-1 most popular), YCSB-style.
+
+    ``theta`` is the skew parameter (0.99 by convention).  The harmonic
+    number ``zeta(n, theta)`` is computed exactly up to ``_EXACT_LIMIT``
+    and extended with the integral approximation beyond, keeping
+    construction O(1)-ish even for 10^9 keys.
+    """
+
+    name = "zipfian"
+    _EXACT_LIMIT = 100_000
+
+    def __init__(self, num_keys: int, theta: float = 0.99):
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.num_keys = num_keys
+        self.theta = theta
+        self._zeta2 = 1.0 + 0.5 ** theta
+        self._zetan = self._zeta(num_keys, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / num_keys) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @classmethod
+    def _zeta(cls, n: int, theta: float) -> float:
+        limit = min(n, cls._EXACT_LIMIT)
+        total = 0.0
+        for i in range(1, limit + 1):
+            total += 1.0 / i ** theta
+        if n > limit:
+            # Integral tail: sum_{limit+1}^{n} x^-theta ~ definite integral.
+            total += (n ** (1.0 - theta) - limit ** (1.0 - theta)) / (1.0 - theta)
+        return total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw a key rank (0 = most popular)."""
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < self._zeta2:
+            return 1
+        rank = int(self.num_keys * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(rank, self.num_keys - 1)
+
+
+class HotspotKeys:
+    """A hot fraction of the key space receives most of the accesses.
+
+    Defaults to the paper's 80/20 rule: 80% of operations touch the first
+    20% of keys.
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        num_keys: int,
+        hot_fraction: float = 0.2,
+        hot_access_prob: float = 0.8,
+    ):
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = num_keys
+        self.hot_keys = max(1, int(math.ceil(num_keys * hot_fraction)))
+        self.hot_access_prob = hot_access_prob
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw a key, hot range with probability ``hot_access_prob``."""
+        if rng.random() < self.hot_access_prob or self.hot_keys >= self.num_keys:
+            return rng.randrange(self.hot_keys)
+        return self.hot_keys + rng.randrange(self.num_keys - self.hot_keys)
+
+
+_DISTRIBUTIONS = {
+    "uniform": UniformKeys,
+    "zipfian": ZipfianKeys,
+    "hotspot": HotspotKeys,
+}
+
+
+def make_distribution(name: str, num_keys: int):
+    """Factory for the distribution names used throughout the evaluation."""
+    try:
+        cls = _DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; expected one of "
+            f"{sorted(_DISTRIBUTIONS)}"
+        ) from None
+    return cls(num_keys)

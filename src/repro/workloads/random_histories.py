@@ -1,0 +1,83 @@
+"""Random *unconstrained* histories for fuzzing the checkers.
+
+Unlike the workload generator (which executes against a database and
+therefore produces mostly-valid histories), this module fabricates
+histories whose reads return arbitrary written values — valid and invalid
+histories alike, exactly what differential testing of the checkers needs.
+Used by the hypothesis test-suites and the 2477-anomaly corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.history import (
+    History,
+    INITIAL_VALUE,
+    Operation,
+    R,
+    W,
+)
+
+__all__ = ["random_history"]
+
+
+def random_history(
+    rng: random.Random,
+    *,
+    sessions: int = 3,
+    txns_per_session: int = 2,
+    max_ops: int = 4,
+    keys: int = 3,
+    read_initial_prob: float = 0.25,
+    abort_prob: float = 0.0,
+) -> History:
+    """A random history over ``keys`` keys with unique written values.
+
+    Reads return either the initial value or one of the values written
+    anywhere in the history (chosen uniformly), so roughly half of the
+    generated histories violate SI — ideal for differential testing.
+    """
+    key_names = [f"k{i}" for i in range(keys)]
+    value_counter = 0
+
+    # First pass: decide shapes and writes so reads can pick among them.
+    plans: List[List[List[tuple]]] = []
+    written: dict = {name: [] for name in key_names}
+    for _s in range(sessions):
+        session_plan = []
+        for _t in range(txns_per_session):
+            ops = []
+            for _o in range(rng.randint(1, max_ops)):
+                key = rng.choice(key_names)
+                if rng.random() < 0.5:
+                    value_counter += 1
+                    ops.append(("w", key, value_counter))
+                    written[key].append(value_counter)
+                else:
+                    ops.append(("r", key, None))
+            session_plan.append(ops)
+        plans.append(session_plan)
+
+    # Second pass: materialize reads.
+    session_ops: List[List[List[Operation]]] = []
+    aborted = set()
+    for s, session_plan in enumerate(plans):
+        ops_list = []
+        for t, plan in enumerate(session_plan):
+            ops: List[Operation] = []
+            for kind, key, value in plan:
+                if kind == "w":
+                    ops.append(W(key, value))
+                else:
+                    pool = written[key]
+                    if not pool or rng.random() < read_initial_prob:
+                        ops.append(R(key, INITIAL_VALUE))
+                    else:
+                        ops.append(R(key, rng.choice(pool)))
+            if abort_prob and rng.random() < abort_prob:
+                aborted.add((s, t))
+            ops_list.append(ops)
+        session_ops.append(ops_list)
+    return History.from_ops(session_ops, aborted=aborted)

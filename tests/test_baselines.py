@@ -1,0 +1,190 @@
+"""Baseline-specific tests: the split reduction, Cobra, CobraSI, dbcop."""
+
+import pytest
+
+from repro.baselines.cobra import CobraChecker
+from repro.baselines.cobrasi import CobraSIChecker
+from repro.baselines.dbcop import DbcopBudgetExceeded, DbcopChecker
+from repro.baselines.reduction import TWIN_PREFIX, split_history
+from repro.core.history import ABORTED, HistoryBuilder, R, W
+
+from conftest import (
+    build,
+    causality_history,
+    long_fork_history,
+    lost_update_history,
+    serializable_history,
+    write_skew_history,
+)
+
+
+class TestSplitReduction:
+    def test_writing_txn_splits_in_two(self):
+        h = build([R("y", None), W("x", 1)])
+        split = split_history(h)
+        assert len(split) == 2
+        read_part, write_part = split.sessions[0]
+        assert any(op.is_write and str(op.key).startswith(TWIN_PREFIX)
+                   for op in read_part.ops)
+        assert any(op.is_read and str(op.key).startswith(TWIN_PREFIX)
+                   for op in write_part.ops)
+
+    def test_read_only_txn_stays_whole(self):
+        h = build([R("x", None), R("y", None)])
+        split = split_history(h)
+        assert len(split) == 1
+
+    def test_aborted_txns_dropped(self):
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1)])
+        b.txn(0, [W("x", 2)], status=ABORTED)
+        split = split_history(b.build())
+        assert len(split) == 2  # only the committed writer, split in two
+
+    def test_twin_tokens_unique(self):
+        h = build([W("x", 1)], [W("x", 2)])
+        split = split_history(h)
+        split.validate()  # raises on duplicate values
+
+    def test_session_order_preserved(self):
+        h = build((0, [W("x", 1)]), (0, [W("y", 2)]))
+        split = split_history(h)
+        # Four split transactions in one session, in order.
+        assert len(split.sessions[0]) == 4
+
+    def test_internal_reads_dropped(self):
+        h = build([W("x", 1), R("x", 1)])
+        split = split_history(h)
+        read_part = split.sessions[0][0]
+        assert not any(op.is_read and op.key == "x" for op in read_part.ops)
+
+    def test_write_skew_split_is_serializable(self):
+        """Write skew is SI-legal, so its split must be serializable."""
+        split = split_history(write_skew_history())
+        assert CobraChecker().check(split).serializable
+
+    def test_lost_update_split_not_serializable(self):
+        split = split_history(lost_update_history())
+        assert not CobraChecker().check(split).serializable
+
+
+class TestCobra:
+    def test_write_skew_rejected_under_ser(self):
+        """The flip side of SI's permissiveness (Figure 1)."""
+        assert not CobraChecker().check(write_skew_history()).serializable
+
+    def test_serializable_history_accepted(self):
+        assert CobraChecker().check(serializable_history()).serializable
+
+    def test_gpu_variant_agrees(self):
+        for history in (
+            serializable_history(), write_skew_history(), long_fork_history(),
+        ):
+            assert (
+                CobraChecker(gpu=True).check(history).serializable
+                == CobraChecker(gpu=False).check(history).serializable
+            )
+
+    def test_no_prune_variant_agrees(self):
+        for history in (serializable_history(), write_skew_history()):
+            assert (
+                CobraChecker(prune=False).check(history).serializable
+                == CobraChecker(prune=True).check(history).serializable
+            )
+
+    def test_cycle_reported(self):
+        res = CobraChecker().check(write_skew_history())
+        assert res.cycle is not None
+        for edge, nxt in zip(res.cycle, res.cycle[1:] + res.cycle[:1]):
+            assert edge[1] == nxt[0]
+
+    def test_axiom_violations_reported(self):
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1)], status=ABORTED)
+        b.txn(1, [R("x", 1)])
+        res = CobraChecker().check(b.build())
+        assert not res.serializable
+        assert res.decided_by == "axioms"
+
+    def test_timings_recorded(self):
+        res = CobraChecker().check(serializable_history())
+        assert "construct" in res.timings and res.total_time >= 0
+
+
+class TestCobraSI:
+    @pytest.mark.parametrize("gpu", [False, True])
+    def test_catalog(self, gpu):
+        checker = CobraSIChecker(gpu=gpu)
+        assert checker.check(serializable_history()).satisfies_si
+        assert checker.check(write_skew_history()).satisfies_si
+        assert not checker.check(long_fork_history()).satisfies_si
+        assert not checker.check(lost_update_history()).satisfies_si
+        assert not checker.check(causality_history()).satisfies_si
+
+    def test_axioms_checked_on_original(self):
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1)], status=ABORTED)
+        b.txn(1, [R("x", 1)])
+        res = CobraSIChecker().check(b.build())
+        assert not res.satisfies_si
+        assert res.decided_by == "axioms"
+
+    def test_timings_include_reduction(self):
+        res = CobraSIChecker().check(write_skew_history())
+        assert "reduce" in res.timings
+
+
+class TestDbcop:
+    def test_catalog(self):
+        checker = DbcopChecker()
+        assert checker.check_si(serializable_history()).satisfies
+        assert checker.check_si(write_skew_history()).satisfies
+        assert not checker.check_si(long_fork_history()).satisfies
+        assert not checker.check_si(lost_update_history()).satisfies
+
+    def test_ser_mode(self):
+        checker = DbcopChecker()
+        assert checker.check_ser(serializable_history()).satisfies
+        assert not checker.check_ser(write_skew_history()).satisfies
+
+    def test_incomplete_for_aborted_reads(self):
+        """Faithful incompleteness (Section 7): dbcop does not flag
+        non-cyclic anomalies."""
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1)], status=ABORTED)
+        b.txn(1, [R("x", 1)])
+        assert DbcopChecker().check_si(b.build()).satisfies
+
+    def test_budget_exceeded_raises(self):
+        h = build(
+            [W("a", 1), W("b", 2)],
+            [W("a", 3), W("c", 4)],
+            [W("b", 5), W("c", 6)],
+            [W("a", 7), W("b", 8), W("c", 9)],
+        )
+        with pytest.raises(DbcopBudgetExceeded):
+            DbcopChecker(max_states=2).check_si(h)
+
+    def test_states_explored_counted(self):
+        res = DbcopChecker().check_si(serializable_history())
+        assert res.states_explored > 0
+
+    def test_state_explosion_with_sessions(self):
+        """dbcop's frontier space grows combinatorially with concurrency on
+        violating histories (which force exhaustive search) — the
+        Figure 6(a) behaviour in miniature."""
+
+        def states_for(pad_sessions):
+            b = HistoryBuilder()
+            # An unsatisfiable core: lost update.
+            b.txn(0, [W("k", 1)])
+            b.txn(1, [R("k", 1), W("k", 2)])
+            b.txn(2, [R("k", 1), W("k", 3)])
+            value = 10
+            for s in range(pad_sessions):
+                for _ in range(2):
+                    value += 1
+                    b.txn(10 + s, [W(f"pad{s}", value)])
+            return DbcopChecker().check_si(b.build()).states_explored
+
+        assert states_for(5) > 8 * states_for(1)

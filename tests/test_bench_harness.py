@@ -1,0 +1,89 @@
+"""Tests for the measurement harness (repro.bench.harness)."""
+
+import math
+import time
+
+from repro.bench.harness import Measurement, Sweep, measure, render_series, render_table
+
+
+class TestMeasure:
+    def test_returns_result_and_timing(self):
+        m = measure(lambda x: x * 2, 21)
+        assert m.result == 42
+        assert m.seconds >= 0
+        assert m.peak_mb >= 0
+
+    def test_memory_tracks_allocations(self):
+        def allocate():
+            return [0] * 2_000_000
+
+        m = measure(allocate)
+        assert m.peak_mb > 5  # 2M ints ~ 16MB list payload
+
+    def test_without_memory_tracing(self):
+        m = measure(lambda: "ok", trace_memory=False)
+        assert m.result == "ok"
+        assert m.peak_mb == 0.0
+
+    def test_kwargs_forwarded(self):
+        m = measure(lambda a, b=0: a + b, 1, b=2)
+        assert m.result == 3
+
+
+class TestSweep:
+    def test_records_points(self):
+        sweep = Sweep("x")
+        sweep.run(1, lambda: "a")
+        sweep.run(2, lambda: "b")
+        assert sweep.points[1].result == "a"
+        assert not sweep.points[2].timed_out
+
+    def test_budget_skips_later_points(self):
+        sweep = Sweep("slow", budget_seconds=0.01)
+        sweep.run(1, lambda: time.sleep(0.05))
+        sweep.run(2, lambda: "never measured")
+        assert not sweep.points[1].timed_out  # measured, over budget
+        assert sweep.points[2].timed_out      # skipped
+
+    def test_exception_counts_as_timeout(self):
+        def boom():
+            raise TimeoutError("budget")
+
+        sweep = Sweep("err")
+        sweep.run(1, boom)
+        assert sweep.points[1].timed_out
+        sweep.run(2, lambda: "skipped")
+        assert sweep.points[2].timed_out
+
+    def test_measurement_repr(self):
+        assert "TIMEOUT" in repr(Measurement(float("nan"), 0, None, True))
+        assert "0.5" in repr(Measurement(0.5, 1.0, None))
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_series_with_timeouts(self):
+        sweep = Sweep("s", budget_seconds=0.001)
+        sweep.run(1, lambda: time.sleep(0.01))
+        sweep.run(2, lambda: None)
+        text = render_series("x", [1, 2], [sweep])
+        assert "timeout" in text
+
+    def test_series_missing_point(self):
+        sweep = Sweep("s")
+        sweep.run(1, lambda: None)
+        text = render_series("x", [1, 2], [sweep])
+        assert "-" in text
+
+    def test_series_memory_column(self):
+        sweep = Sweep("s")
+        sweep.run(1, lambda: [0] * 100_000)
+        text = render_series("x", [1], [sweep], value="peak_mb")
+        value = float(text.splitlines()[-1].split()[-1])
+        assert not math.isnan(value)

@@ -1,0 +1,187 @@
+"""Tests for the TCC and Read Atomicity checkers (repro.extensions.causal).
+
+The load-bearing property is Figure 1's hierarchy: SER > SI > TCC > RA.
+Every SI-consistent history must satisfy TCC and RA; the classic
+anomalies separate the levels exactly as the literature says.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checker import check_snapshot_isolation
+from repro.core.history import ABORTED, HistoryBuilder, R, W
+from repro.extensions import (
+    check_read_atomicity,
+    check_transactional_causal_consistency,
+)
+from repro.storage.faults import FaultConfig
+from repro.workloads.corpus import make_anomaly
+from repro.workloads.generator import WorkloadParams, generate_history
+from repro.workloads.random_histories import random_history
+
+from conftest import (
+    build,
+    causality_history,
+    long_fork_history,
+    lost_update_history,
+    serializable_history,
+    write_skew_history,
+)
+
+
+class TestLevelSeparations:
+    """The classic anomalies land exactly between the levels."""
+
+    def test_long_fork_separates_si_from_tcc(self):
+        h = long_fork_history()
+        assert not check_snapshot_isolation(h).satisfies_si
+        assert check_transactional_causal_consistency(h).satisfies
+
+    def test_lost_update_separates_si_from_tcc(self):
+        h = lost_update_history()
+        assert not check_snapshot_isolation(h).satisfies_si
+        assert check_transactional_causal_consistency(h).satisfies
+
+    def test_causality_violation_separates_tcc_from_ra(self):
+        h = causality_history()
+        assert not check_transactional_causal_consistency(h).satisfies
+        assert check_read_atomicity(h).satisfies
+
+    def test_fractured_read_violates_ra(self):
+        h = make_anomaly("read-skew", seed=1)
+        result = check_read_atomicity(h)
+        assert not result.satisfies
+        assert any(a.axiom == "FracturedRead" for a in result.anomalies)
+
+    def test_valid_histories_pass_everything(self):
+        for h in (serializable_history(), write_skew_history()):
+            assert check_transactional_causal_consistency(h).satisfies
+            assert check_read_atomicity(h).satisfies
+
+
+class TestTccBadPatterns:
+    def test_write_co_read(self):
+        # w -CO-> w' -CO-> r, r reads from w: causally overwritten.
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1)])                  # w
+        b.txn(1, [R("x", 1), W("x", 2), W("m", 1)])  # w' observed w
+        b.txn(2, [R("m", 1)])                  # r causally after w'
+        b.txn(2, [R("x", 1)])                  # ...but reads w's version
+        result = check_transactional_causal_consistency(b.build())
+        assert not result.satisfies
+        assert any(a.axiom == "WriteCORead" for a in result.anomalies)
+
+    def test_write_co_init_read(self):
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1), W("m", 1)])
+        b.txn(1, [R("m", 1)])        # causally after the writer
+        b.txn(1, [R("x", None)])     # yet reads the initial state
+        result = check_transactional_causal_consistency(b.build())
+        assert not result.satisfies
+        assert any(a.axiom == "WriteCOInitRead" for a in result.anomalies)
+
+    def test_cyclic_information_flow_fails_tcc(self):
+        h = build([R("y", 2), W("x", 1)], [R("x", 1), W("y", 2)])
+        result = check_transactional_causal_consistency(h)
+        assert not result.satisfies
+        assert any(a.axiom == "CyclicCO" for a in result.anomalies)
+
+    def test_axioms_checked_first(self):
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1)], status=ABORTED)
+        b.txn(1, [R("x", 1)])
+        result = check_transactional_causal_consistency(b.build())
+        assert not result.satisfies
+        assert result.anomalies[0].axiom == "AbortedReads"
+
+    def test_describe(self):
+        result = check_transactional_causal_consistency(causality_history())
+        assert "violates TCC" in result.describe()
+
+
+class TestRaDetails:
+    def test_mixed_initial_and_written_cells(self):
+        # Reader sees w's x but the initial y although w wrote both.
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1), W("y", 1)])
+        b.txn(1, [R("x", 1), R("y", None)])
+        result = check_read_atomicity(b.build())
+        assert not result.satisfies
+
+    def test_reading_newer_other_key_allowed(self):
+        # Seeing a *newer* version of the second key is not fractured.
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1), W("y", 1)])
+        b.txn(1, [R("y", 1), W("y", 2)])
+        b.txn(2, [R("x", 1), R("y", 2)])
+        assert check_read_atomicity(b.build()).satisfies
+
+    def test_single_key_reads_never_fractured(self):
+        h = causality_history()
+        assert check_read_atomicity(h).satisfies
+
+
+class TestHierarchyProperties:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_si_implies_tcc_implies_ra(self, seed):
+        rng = random.Random(seed)
+        h = random_history(rng, sessions=3, txns_per_session=2,
+                           max_ops=4, keys=3, abort_prob=0.1)
+        si = check_snapshot_isolation(h).satisfies_si
+        tcc = check_transactional_causal_consistency(h).satisfies
+        ra = check_read_atomicity(h).satisfies
+        if si:
+            assert tcc, "SI history failed TCC"
+        if tcc:
+            assert ra, "TCC history failed RA"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_si_store_histories_pass_weak_levels(self, seed):
+        params = WorkloadParams(sessions=5, txns_per_session=8,
+                                ops_per_txn=5, keys=10,
+                                distribution="uniform")
+        run = generate_history(params, seed=seed)
+        assert check_transactional_causal_consistency(run.history).satisfies
+        assert check_read_atomicity(run.history).satisfies
+
+    def test_no_fcw_store_is_still_causal(self):
+        """Dropping first-committer-wins yields lost updates (SI broken)
+        but keeps causal consistency — snapshots stay causally closed."""
+        params = WorkloadParams(sessions=5, txns_per_session=10,
+                                ops_per_txn=5, keys=5,
+                                distribution="uniform")
+        si_broken = tcc_broken = 0
+        for seed in range(10):
+            run = generate_history(
+                params, seed=seed,
+                faults=FaultConfig(no_first_committer_wins=True),
+            )
+            if not check_snapshot_isolation(run.history).satisfies_si:
+                si_broken += 1
+            if not check_transactional_causal_consistency(
+                run.history
+            ).satisfies:
+                tcc_broken += 1
+        assert si_broken > 0
+        assert tcc_broken == 0
+
+    def test_stale_snapshot_store_breaks_tcc(self):
+        params = WorkloadParams(sessions=5, txns_per_session=10,
+                                ops_per_txn=5, keys=6,
+                                distribution="uniform")
+        found = False
+        for seed in range(15):
+            run = generate_history(
+                params, seed=seed,
+                faults=FaultConfig(stale_snapshot_prob=0.5,
+                                   stale_snapshot_depth=10),
+            )
+            if not check_transactional_causal_consistency(
+                run.history
+            ).satisfies:
+                found = True
+                break
+        assert found

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.histories.codec import dump_history
+
+from conftest import long_fork_history, serializable_history
+
+
+class TestCheck:
+    def test_valid_history_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        dump_history(serializable_history(), str(path))
+        assert main(["check", str(path)]) == 0
+        assert "satisfies" in capsys.readouterr().out
+
+    def test_violation_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        dump_history(long_fork_history(), str(path))
+        assert main(["check", str(path)]) == 1
+        assert "violates" in capsys.readouterr().out
+
+    def test_explain_and_dot(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        dot = tmp_path / "ce.dot"
+        dump_history(long_fork_history(), str(path))
+        assert main(["check", str(path), "--explain", "--dot", str(dot)]) == 1
+        assert "anomaly class: long fork" in capsys.readouterr().out
+        assert dot.read_text().startswith("digraph")
+
+    def test_text_format(self, tmp_path):
+        path = tmp_path / "h.txt"
+        dump_history(serializable_history(), str(path), fmt="text")
+        assert main(["check", str(path), "--format", "text"]) == 0
+
+    def test_missing_file_exit_two(self, capsys):
+        assert main(["check", "/nonexistent/h.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_prune_flag(self, tmp_path):
+        path = tmp_path / "h.json"
+        dump_history(long_fork_history(), str(path))
+        assert main(["check", str(path), "--no-prune"]) == 1
+
+
+class TestGenerate:
+    def test_generates_valid_history_file(self, tmp_path, capsys):
+        out = tmp_path / "gen.json"
+        code = main([
+            "generate", "--sessions", "3", "--txns", "4", "--ops", "3",
+            "--keys", "6", "-o", str(out),
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert len(data["sessions"]) == 3
+        # The generated file round-trips through check.
+        assert main(["check", str(out)]) == 0
+
+    def test_generate_with_fault_profile(self, tmp_path):
+        out = tmp_path / "bad.json"
+        found = False
+        for seed in range(10):
+            main([
+                "generate", "--sessions", "5", "--txns", "8", "--keys", "5",
+                "--profile", "mariadb-galera-sim", "--seed", str(seed),
+                "-o", str(out),
+            ])
+            if main(["check", str(out)]) == 1:
+                found = True
+                break
+        assert found
+
+
+class TestAuditAndCorpus:
+    def test_audit_finds_violation(self, capsys):
+        code = main([
+            "audit", "--profile", "mariadb-galera-sim", "--runs", "15",
+            "--sessions", "5", "--txns", "8", "--keys", "5",
+        ])
+        assert code == 1
+        assert "violation found" in capsys.readouterr().out
+
+    def test_corpus_full_detection(self, capsys):
+        assert main(["corpus", "--count", "27"]) == 0
+        assert "27/27" in capsys.readouterr().out
+
+    def test_profiles_listed(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "mariadb-galera-sim" in out
+        assert "dgraph-sim" in out

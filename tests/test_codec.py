@@ -1,0 +1,122 @@
+"""Round-trip tests for history serialization (repro.histories.codec)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.history import ABORTED, HistoryBuilder, R, W
+from repro.histories.codec import (
+    dump_history,
+    history_from_json,
+    history_from_text,
+    history_to_json,
+    history_to_text,
+    load_history,
+)
+from repro.workloads.random_histories import random_history
+
+
+def histories_equal(a, b) -> bool:
+    if len(a.sessions) != len(b.sessions):
+        return False
+    for sa, sb in zip(a.sessions, b.sessions):
+        if len(sa) != len(sb):
+            return False
+        for ta, tb in zip(sa, sb):
+            if ta.status != tb.status or list(ta.ops) != list(tb.ops):
+                return False
+    return True
+
+
+def sample_history():
+    b = HistoryBuilder()
+    b.txn(0, [W("x", 1), R("y", None)])
+    b.txn(1, [R("x", 1), W("y", 2)])
+    b.txn(0, [W("x", 3)], status=ABORTED)
+    return b.build()
+
+
+class TestJson:
+    def test_roundtrip(self):
+        h = sample_history()
+        assert histories_equal(h, history_from_json(history_to_json(h)))
+
+    def test_preserves_aborted_status(self):
+        h = sample_history()
+        back = history_from_json(history_to_json(h))
+        assert back.sessions[0][1].status == ABORTED
+
+    def test_initial_value_roundtrip(self):
+        h = sample_history()
+        back = history_from_json(history_to_json(h))
+        assert back.sessions[0][0].ops[1].value is None
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_random_roundtrip(self, seed):
+        rng = random.Random(seed)
+        h = random_history(rng, sessions=3, txns_per_session=2, abort_prob=0.2)
+        assert histories_equal(h, history_from_json(history_to_json(h)))
+
+
+class TestText:
+    def test_roundtrip(self):
+        h = sample_history()
+        assert histories_equal(h, history_from_text(history_to_text(h)))
+
+    def test_format_is_line_based(self):
+        text = history_to_text(sample_history())
+        lines = [l for l in text.splitlines() if l]
+        assert len(lines) == 3
+        assert lines[0].startswith("0 c |")
+        assert lines[1].startswith("0 a |")
+        assert lines[2].startswith("1 c |")
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n0 c | w(x,1)\n"
+        h = history_from_text(text)
+        assert len(h) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            history_from_text("0 zombie | w(x,1)")
+        with pytest.raises(ValueError):
+            history_from_text("0 c | q(x,1)")
+
+    def test_initial_marker(self):
+        h = history_from_text("0 c | r(x,_)")
+        assert h.sessions[0][0].ops[0].value is None
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_random_roundtrip(self, seed):
+        rng = random.Random(seed)
+        h = random_history(rng, sessions=2, txns_per_session=2, abort_prob=0.2)
+        assert histories_equal(h, history_from_text(history_to_text(h)))
+
+
+class TestFileIO:
+    @pytest.mark.parametrize("fmt", ["json", "text"])
+    def test_dump_load(self, tmp_path, fmt):
+        h = sample_history()
+        path = tmp_path / f"history.{fmt}"
+        dump_history(h, str(path), fmt=fmt)
+        assert histories_equal(h, load_history(str(path), fmt=fmt))
+
+    def test_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            dump_history(sample_history(), str(tmp_path / "x"), fmt="xml")
+
+    def test_verdict_survives_roundtrip(self):
+        """Serialization must not change the checker's verdict."""
+        from repro import check_snapshot_isolation
+        from conftest import long_fork_history
+
+        h = long_fork_history()
+        back = history_from_json(history_to_json(h))
+        assert (
+            check_snapshot_isolation(h).satisfies_si
+            == check_snapshot_isolation(back).satisfies_si
+            == False  # noqa: E712
+        )

@@ -1,0 +1,146 @@
+"""Tests for generalized polygraph construction (repro.core.polygraph)."""
+
+from repro.core.history import History, HistoryBuilder, R, W
+from repro.core.polygraph import (
+    RW,
+    SO,
+    WR,
+    WW,
+    build_polygraph,
+)
+
+from conftest import build, long_fork_history
+
+
+class TestKnownEdges:
+    def test_so_covering_edges(self):
+        h = build((0, [W("x", 1)]), (0, [W("x", 2)]), (0, [W("x", 3)]))
+        graph, violations = build_polygraph(h)
+        assert violations == []
+        so = {(e[0], e[1]) for e in graph.known_by_label(SO)}
+        assert so == {(0, 1), (1, 2)}  # covering pairs only
+
+    def test_wr_edges_resolved_by_value(self):
+        h = build([W("x", 1)], [R("x", 1)])
+        graph, _ = build_polygraph(h)
+        wr = graph.known_by_label(WR)
+        assert wr == [(0, 1, WR, "x")]
+        assert graph.readers_from[(0, "x")] == [1]
+
+    def test_aborted_txns_excluded(self):
+        h = History.from_ops(
+            [[[W("x", 1)]], [[W("x", 2)]]], aborted=[(1, 0)]
+        )
+        graph, _ = build_polygraph(h)
+        assert graph.constraints == []  # only one committed writer
+
+    def test_unjustified_read_reported(self):
+        h = build([R("x", 42)])
+        _graph, violations = build_polygraph(h)
+        assert len(violations) == 1
+        assert violations[0].axiom == "UnjustifiedRead"
+
+    def test_future_read_reported(self):
+        h = build([R("x", 1), W("x", 1)])
+        _graph, violations = build_polygraph(h)
+        assert violations[0].axiom == "FutureRead"
+
+
+class TestInitVertex:
+    def test_initial_read_materializes_init(self):
+        h = build([R("x", None)], [W("x", 1)])
+        graph, _ = build_polygraph(h)
+        assert graph.init_vertex == 2
+        assert graph.num_vertices == 3
+        ww = graph.known_by_label(WW)
+        assert (2, 1, WW, "x") in ww
+        rw = graph.known_by_label(RW)
+        assert (0, 1, RW, "x") in rw  # init reader anti-depends on writer
+
+    def test_no_initial_reads_no_init_vertex(self):
+        h = build([W("x", 1)], [R("x", 1)])
+        graph, _ = build_polygraph(h)
+        assert graph.init_vertex is None
+        assert graph.num_vertices == 2
+
+    def test_init_vertex_name(self):
+        h = build([R("x", None)])
+        graph, _ = build_polygraph(h)
+        assert graph.vertex_name(graph.init_vertex) == "T:init"
+
+
+class TestConstraints:
+    def test_pair_of_writers_yields_one_constraint(self):
+        h = build([W("x", 1)], [W("x", 2)])
+        graph, _ = build_polygraph(h)
+        assert graph.num_constraints == 1
+        (cons,) = graph.constraints
+        assert cons.pair in ((0, 1), (1, 0))
+        assert cons.either[0][2] == WW
+        assert cons.orelse[0][2] == WW
+
+    def test_constraint_includes_reader_rw_edges(self):
+        h = build([W("x", 1)], [W("x", 2)], [R("x", 1)])
+        graph, _ = build_polygraph(h)
+        (cons,) = graph.constraints
+        branches = {cons.either, cons.orelse}
+        # The branch ordering writer0 before writer1 must push reader 2
+        # after... i.e. contain the RW edge (2, 1).
+        rw_edges = {
+            edge for branch in branches for edge in branch if edge[2] == RW
+        }
+        assert (2, 1, RW, "x") in rw_edges
+
+    def test_reader_equal_to_other_writer_skipped(self):
+        # Reader 1 also writes x: no RW self-edge may appear.
+        h = build([W("x", 1)], [R("x", 1), W("x", 2)])
+        graph, _ = build_polygraph(h)
+        for cons in graph.constraints:
+            for edge in cons.either + cons.orelse:
+                assert edge[0] != edge[1]
+
+    def test_three_writers_three_constraints(self):
+        h = build([W("x", 1)], [W("x", 2)], [W("x", 3)])
+        graph, _ = build_polygraph(h)
+        assert graph.num_constraints == 3  # one per unordered pair
+
+    def test_constraint_count_long_fork(self):
+        graph, _ = build_polygraph(long_fork_history())
+        # x has writers T0, T5, T1 -> 3 pairs; y has T0, T2 -> 1 pair.
+        assert graph.num_constraints == 4
+
+    def test_unknown_dep_count(self):
+        h = build([W("x", 1)], [W("x", 2)], [R("x", 1)])
+        graph, _ = build_polygraph(h)
+        assert graph.num_unknown_deps == 3  # WW + WW + one RW
+
+
+class TestCompaction:
+    def test_non_compact_generates_more_constraints(self):
+        h = build([W("x", 1)], [W("x", 2)], [R("x", 1)], [R("x", 2)])
+        compact, _ = build_polygraph(h, compact=True)
+        expanded, _ = build_polygraph(h, compact=False)
+        assert expanded.num_constraints > compact.num_constraints
+
+    def test_non_compact_base_constraint_per_pair(self):
+        h = build([W("x", 1)], [W("x", 2)])
+        expanded, _ = build_polygraph(h, compact=False)
+        # No readers: just the WW direction choice.
+        assert expanded.num_constraints == 1
+
+    def test_copy_independent(self):
+        h = build([W("x", 1)], [W("x", 2)])
+        graph, _ = build_polygraph(h)
+        clone = graph.copy()
+        clone.constraints = []
+        clone.add_known((0, 1, WW, "x"))
+        assert graph.num_constraints == 1
+        assert (0, 1, WW, "x") not in graph.known_edges
+
+    def test_add_known_dedupes(self):
+        h = build([W("x", 1)])
+        graph, _ = build_polygraph(h)
+        before = len(graph.known_edges)
+        graph.add_known((0, 0, SO, None))
+        graph.add_known((0, 0, SO, None))
+        assert len(graph.known_edges) == before + 1

@@ -1,0 +1,154 @@
+"""Tests for the CDCL SAT core, including hypothesis cross-checks."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.cdcl import CDCLSolver, _luby
+
+
+def brute_force_sat(num_vars, clauses):
+    """Reference SAT decision by enumeration."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any((lit > 0) == bits[abs(lit) - 1] for lit in c) for c in clauses):
+            return True
+    return False
+
+
+def make_solver(num_vars, clauses):
+    solver = CDCLSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(list(clause))
+    return solver
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert CDCLSolver().solve()
+
+    def test_single_unit(self):
+        s = make_solver(1, [[1]])
+        assert s.solve()
+        assert s.model_value(1)
+
+    def test_contradictory_units(self):
+        s = make_solver(1, [[1], [-1]])
+        assert not s.solve()
+
+    def test_tautology_dropped(self):
+        s = make_solver(2, [[1, -1]])
+        assert s.solve()
+
+    def test_duplicate_literals_deduped(self):
+        s = make_solver(1, [[1, 1, 1]])
+        assert s.solve()
+        assert s.model_value(1)
+
+    def test_implication_chain(self):
+        n = 50
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, n)]
+        s = make_solver(n, clauses)
+        assert s.solve()
+        assert all(s.model_value(v) for v in range(1, n + 1))
+
+    def test_simple_unsat_triangle(self):
+        # (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ ¬b)
+        s = make_solver(2, [[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        assert not s.solve()
+
+    def test_xor_chain_sat(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1 encoded in CNF.
+        clauses = [[1, 2], [-1, -2], [2, 3], [-2, -3]]
+        s = make_solver(3, clauses)
+        assert s.solve()
+        assert s.model_value(1) != s.model_value(2)
+        assert s.model_value(2) != s.model_value(3)
+
+    def test_stats_are_counted(self):
+        s = make_solver(2, [[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        s.solve()
+        assert s.stats.conflicts >= 1
+
+    def test_add_clause_after_false_unit(self):
+        s = CDCLSolver()
+        s.ensure_vars(1)
+        assert s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert not s.solve()
+
+
+class TestPigeonhole:
+    def _pigeonhole(self, holes):
+        """PHP(holes+1, holes): unsatisfiable by the pigeonhole principle."""
+        pigeons = holes + 1
+        var = lambda p, h: p * holes + h + 1  # noqa: E731
+        clauses = []
+        for p in range(pigeons):
+            clauses.append([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        return pigeons * holes, clauses
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_unsat(self, holes):
+        n, clauses = self._pigeonhole(holes)
+        assert not make_solver(n, clauses).solve()
+
+    def test_exact_fit_sat(self):
+        # holes pigeons into holes holes is satisfiable.
+        holes = 3
+        var = lambda p, h: p * holes + h + 1  # noqa: E731
+        clauses = [[var(p, h) for h in range(holes)] for p in range(holes)]
+        for h in range(holes):
+            for p1 in range(holes):
+                for p2 in range(p1 + 1, holes):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        assert make_solver(holes * holes, clauses).solve()
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+@st.composite
+def cnf_instances(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    num_clauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_vars))
+            * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestAgainstBruteForce:
+    @given(cnf_instances())
+    @settings(max_examples=300, deadline=None)
+    def test_decision_matches_enumeration(self, instance):
+        num_vars, clauses = instance
+        solver = make_solver(num_vars, clauses)
+        got = solver.solve()
+        assert got == brute_force_sat(num_vars, clauses)
+
+    @given(cnf_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_models_satisfy_all_clauses(self, instance):
+        num_vars, clauses = instance
+        solver = make_solver(num_vars, clauses)
+        if solver.solve():
+            for clause in clauses:
+                assert any(
+                    (lit > 0) == solver.model_value(abs(lit)) for lit in clause
+                )

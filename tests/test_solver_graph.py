@@ -1,0 +1,168 @@
+"""Tests for the acyclicity theory and the MonoSAT-style facade."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.graph import AcyclicityTheory, StaticCycleError
+from repro.solver.monosat import AcyclicGraphSolver
+
+
+def forced_edge_solver(n, edges, static=None):
+    solver = AcyclicGraphSolver(n, static_adj=static)
+    for (u, v) in edges:
+        var = solver.new_var()
+        solver.add_edge(var, u, v)
+        solver.add_clause([var])
+    return solver
+
+
+class TestTheoryDirect:
+    def test_self_loop_conflicts(self):
+        theory = AcyclicityTheory(2)
+        theory.register_edge(1, 0, 0)
+        assert theory.assert_var(1, 0) == [1]
+
+    def test_two_cycle_detected(self):
+        theory = AcyclicityTheory(2)
+        theory.register_edge(1, 0, 1)
+        theory.register_edge(2, 1, 0)
+        assert theory.assert_var(1, 0) is None
+        conflict = theory.assert_var(2, 1)
+        assert sorted(conflict) == [1, 2]
+
+    def test_backtrack_removes_edges(self):
+        theory = AcyclicityTheory(2)
+        theory.register_edge(1, 0, 1)
+        theory.register_edge(2, 1, 0)
+        assert theory.assert_var(1, 5) is None
+        theory.backtrack(5)
+        assert theory.current_edges() == []
+        # After removing 0->1, the reverse edge is fine.
+        assert theory.assert_var(2, 6) is None
+
+    def test_static_cycle_rejected(self):
+        with pytest.raises(StaticCycleError):
+            AcyclicityTheory(2, static_adj=[[1], [0]])
+
+    def test_mixed_static_var_cycle(self):
+        # static: 0 -> 1 -> 2; var edge 2 -> 0 closes the cycle but only
+        # the variable edge appears in the conflict.
+        theory = AcyclicityTheory(3, static_adj=[[1], [2], []])
+        theory.register_edge(7, 2, 0)
+        assert theory.assert_var(7, 0) == [7]
+
+    def test_var_edge_agreeing_with_static_order(self):
+        theory = AcyclicityTheory(3, static_adj=[[1], [2], []])
+        theory.register_edge(7, 0, 2)
+        assert theory.assert_var(7, 0) is None
+
+    def test_reorder_then_cycle(self):
+        # No static edges; insert 1->0 (against initial order), then 0->1.
+        theory = AcyclicityTheory(2)
+        theory.register_edge(1, 1, 0)
+        theory.register_edge(2, 0, 1)
+        assert theory.assert_var(1, 0) is None
+        conflict = theory.assert_var(2, 1)
+        assert sorted(conflict) == [1, 2]
+
+    def test_duplicate_registration_rejected(self):
+        theory = AcyclicityTheory(2)
+        theory.register_edge(1, 0, 1)
+        with pytest.raises(ValueError):
+            theory.register_edge(1, 1, 0)
+
+    def test_conflict_reports_minimal_var_chain(self):
+        # var edges 0->1, 1->2; static 2->3; var 3->0 closes it.
+        theory = AcyclicityTheory(4, static_adj=[[], [], [3], []])
+        theory.register_edge(1, 0, 1)
+        theory.register_edge(2, 1, 2)
+        theory.register_edge(3, 3, 0)
+        assert theory.assert_var(1, 0) is None
+        assert theory.assert_var(2, 1) is None
+        conflict = theory.assert_var(3, 2)
+        assert sorted(conflict) == [1, 2, 3]
+
+
+class TestFacade:
+    def test_forced_cycle_unsat(self):
+        solver = forced_edge_solver(3, [(0, 1), (1, 2), (2, 0)])
+        assert not solver.solve()
+
+    def test_choice_picks_acyclic_option(self):
+        solver = AcyclicGraphSolver(3)
+        e01, e12, e20, e02 = (solver.new_var() for _ in range(4))
+        solver.add_edge(e01, 0, 1)
+        solver.add_edge(e12, 1, 2)
+        solver.add_edge(e20, 2, 0)
+        solver.add_edge(e02, 0, 2)
+        solver.add_clause([e01])
+        solver.add_clause([e12])
+        solver.add_clause([e20, e02])
+        assert solver.solve()
+        assert solver.model_value(e02)
+        assert not solver.model_value(e20)
+
+    def test_true_edges_reflect_model(self):
+        solver = forced_edge_solver(3, [(0, 1), (1, 2)])
+        assert solver.solve()
+        edges = {(u, v) for (u, v, _var) in solver.true_edges()}
+        assert edges == {(0, 1), (1, 2)}
+
+    def test_solve_without_acyclicity(self):
+        solver = forced_edge_solver(2, [(0, 1), (1, 0)])
+        assert not solver.solve()
+        plain = solver.solve_without_acyclicity()
+        # Both edges are forced true in the theory-free model.
+        for var, _edge in solver._edges.items():
+            assert plain.model_value(var)
+
+    def test_static_edges_constrain_search(self):
+        # static chain 0->1->2; forcing var edge 2->0 is UNSAT.
+        solver = forced_edge_solver(3, [(2, 0)], static=[[1], [2], []])
+        assert not solver.solve()
+
+
+@st.composite
+def random_digraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    m = draw(st.integers(min_value=1, max_value=14))
+    edges = set()
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        edges.add((u, v))
+    return n, sorted(edges)
+
+
+class TestAgainstNetworkx:
+    @given(random_digraphs())
+    @settings(max_examples=200, deadline=None)
+    def test_forced_graph_acyclicity(self, instance):
+        n, edges = instance
+        solver = forced_edge_solver(n, edges)
+        want = nx.is_directed_acyclic_graph(nx.DiGraph(edges)) if edges else True
+        assert solver.solve() == want
+
+    @given(random_digraphs(), random_digraphs())
+    @settings(max_examples=100, deadline=None)
+    def test_static_plus_var_split(self, static_part, var_part):
+        """Splitting edges between static and variable must not change the
+        verdict (when the static part alone is acyclic)."""
+        n1, static_edges = static_part
+        n2, var_edges = var_part
+        n = max(n1, n2)
+        static_graph = nx.DiGraph(static_edges)
+        if static_edges and not nx.is_directed_acyclic_graph(static_graph):
+            return  # static part must be acyclic by contract
+        static_adj = [[] for _ in range(n)]
+        for u, v in static_edges:
+            static_adj[u].append(v)
+        solver = forced_edge_solver(n, var_edges, static=static_adj)
+        combined = nx.DiGraph(list(static_edges) + list(var_edges))
+        want = (
+            nx.is_directed_acyclic_graph(combined)
+            if combined.edges
+            else True
+        )
+        assert solver.solve() == want

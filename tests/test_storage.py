@@ -1,0 +1,213 @@
+"""Tests for the MVCC database substrate (repro.storage)."""
+
+import pytest
+
+from repro.core.history import INITIAL_VALUE
+from repro.storage.database import MVCCDatabase
+from repro.storage.faults import DATABASE_PROFILES, FaultConfig
+from repro.storage.mvcc import VersionStore
+
+
+class TestVersionStore:
+    def test_read_before_any_write(self):
+        store = VersionStore()
+        assert store.read_at("x", 100) is INITIAL_VALUE
+
+    def test_snapshot_reads(self):
+        store = VersionStore()
+        store.install("x", "a", 1, txid=0)
+        store.install("x", "b", 5, txid=1)
+        assert store.read_at("x", 0) is INITIAL_VALUE
+        assert store.read_at("x", 1) == "a"
+        assert store.read_at("x", 4) == "a"
+        assert store.read_at("x", 5) == "b"
+        assert store.read_at("x", 99) == "b"
+
+    def test_newer_than(self):
+        store = VersionStore()
+        store.install("x", "a", 3, txid=0)
+        assert store.newer_than("x", 2)
+        assert not store.newer_than("x", 3)
+        assert not store.newer_than("y", 0)
+
+    def test_monotonic_timestamps_enforced(self):
+        store = VersionStore()
+        store.install("x", "a", 5, txid=0)
+        with pytest.raises(ValueError):
+            store.install("x", "b", 5, txid=1)
+
+    def test_intermediate_writes_recorded(self):
+        store = VersionStore()
+        store.record_intermediate("x", "tmp", txid=3)
+        assert store.intermediate_writes["x"] == [("tmp", 3)]
+
+    def test_chain(self):
+        store = VersionStore()
+        store.install("x", "a", 1, txid=0)
+        store.install("x", "b", 2, txid=1)
+        assert [v.value for v in store.chain("x")] == ["a", "b"]
+
+
+class TestSnapshotIsolationSemantics:
+    def test_read_your_writes(self):
+        db = MVCCDatabase()
+        t = db.begin(0)
+        db.write(t, "x", 1)
+        assert db.read(t, "x") == 1
+
+    def test_repeatable_reads(self):
+        db = MVCCDatabase()
+        t1 = db.begin(0)
+        assert db.read(t1, "x") is INITIAL_VALUE
+        t2 = db.begin(1)
+        db.write(t2, "x", 5)
+        assert db.commit(t2)
+        # t1 still sees its snapshot.
+        assert db.read(t1, "x") is INITIAL_VALUE
+
+    def test_first_committer_wins(self):
+        db = MVCCDatabase()
+        t1 = db.begin(0)
+        t2 = db.begin(1)
+        db.write(t1, "x", 1)
+        db.write(t2, "x", 2)
+        assert db.commit(t1)
+        assert not db.commit(t2)  # write-write conflict -> abort
+        assert db.committed_value("x") == 1
+
+    def test_non_conflicting_concurrent_commits(self):
+        db = MVCCDatabase()
+        t1 = db.begin(0)
+        t2 = db.begin(1)
+        db.write(t1, "x", 1)
+        db.write(t2, "y", 2)
+        assert db.commit(t1)
+        assert db.commit(t2)  # write skew is allowed under SI
+
+    def test_session_sees_own_previous_commit(self):
+        db = MVCCDatabase()
+        t1 = db.begin(0)
+        db.write(t1, "x", 1)
+        assert db.commit(t1)
+        t2 = db.begin(0)
+        assert db.read(t2, "x") == 1
+
+    def test_read_only_txn_always_commits(self):
+        db = MVCCDatabase()
+        t1 = db.begin(0)
+        db.read(t1, "x")
+        t2 = db.begin(1)
+        db.write(t2, "x", 1)
+        assert db.commit(t2)
+        assert db.commit(t1)
+
+    def test_use_after_commit_rejected(self):
+        db = MVCCDatabase()
+        t = db.begin(0)
+        db.commit(t)
+        with pytest.raises(RuntimeError):
+            db.read(t, "x")
+
+    def test_explicit_abort(self):
+        db = MVCCDatabase()
+        t = db.begin(0)
+        db.write(t, "x", 1)
+        db.abort(t)
+        assert db.committed_value("x") is INITIAL_VALUE
+
+
+class TestSerializableSemantics:
+    def test_read_validation_aborts_stale_reader(self):
+        db = MVCCDatabase(isolation="serializable")
+        t1 = db.begin(0)
+        assert db.read(t1, "x") is INITIAL_VALUE
+        db.write(t1, "y", 1)
+        t2 = db.begin(1)
+        db.write(t2, "x", 5)
+        assert db.commit(t2)
+        # t1 read x before t2's commit: its read set is stale.
+        assert not db.commit(t1)
+
+    def test_write_skew_prevented(self):
+        db = MVCCDatabase(isolation="serializable")
+        t1 = db.begin(0)
+        t2 = db.begin(1)
+        db.read(t1, "x")
+        db.read(t1, "y")
+        db.read(t2, "x")
+        db.read(t2, "y")
+        db.write(t1, "x", 1)
+        db.write(t2, "y", 2)
+        assert db.commit(t1)
+        assert not db.commit(t2)
+
+
+class TestReadCommitted:
+    def test_sees_latest_at_each_read(self):
+        db = MVCCDatabase(isolation="read_committed")
+        t1 = db.begin(0)
+        assert db.read(t1, "x") is INITIAL_VALUE
+        t2 = db.begin(1)
+        db.write(t2, "x", 7)
+        assert db.commit(t2)
+        assert db.read(t1, "x") == 7  # non-repeatable read
+
+
+class TestFaults:
+    def test_no_fcw_allows_lost_update(self):
+        db = MVCCDatabase(faults=FaultConfig(no_first_committer_wins=True))
+        t1 = db.begin(0)
+        t2 = db.begin(1)
+        db.write(t1, "x", 1)
+        db.write(t2, "x", 2)
+        assert db.commit(t1)
+        assert db.commit(t2)  # the bug: no conflict detection
+
+    def test_replicas_divergence_window(self):
+        faults = FaultConfig(replicas=2, replication_delay=10)
+        db = MVCCDatabase(faults=faults)
+        t = db.begin(0)  # session 0 -> replica 0
+        db.write(t, "x", 1)
+        assert db.commit(t)
+        # Replica 1 has not applied the write yet.
+        t2 = db.begin(1)  # session 1 -> replica 1
+        assert db.read(t2, "x") is INITIAL_VALUE
+
+    def test_replication_eventually_applies(self):
+        faults = FaultConfig(replicas=2, replication_delay=1)
+        db = MVCCDatabase(faults=faults)
+        t = db.begin(0)
+        db.write(t, "x", 1)
+        assert db.commit(t)
+        # One more commit pushes the pending application past its due
+        # sequence number.
+        t3 = db.begin(0)
+        db.write(t3, "z", 9)
+        assert db.commit(t3)
+        t2 = db.begin(1)
+        assert db.read(t2, "x") == 1
+
+    def test_abort_probability(self):
+        db = MVCCDatabase(faults=FaultConfig(abort_prob=1.0))
+        t = db.begin(0)
+        db.write(t, "x", 1)
+        assert not db.commit(t)
+
+    def test_stale_snapshot_reads_old_data(self):
+        faults = FaultConfig(stale_snapshot_prob=1.0, stale_snapshot_depth=10)
+        db = MVCCDatabase(faults=faults, seed=1)
+        t = db.begin(0)
+        db.write(t, "x", 1)
+        assert db.commit(t)
+        t2 = db.begin(0)
+        # Snapshot forced before the commit: own write invisible.
+        assert db.read(t2, "x") is INITIAL_VALUE
+
+    def test_profiles_have_expected_fields(self):
+        for name, profile in DATABASE_PROFILES.items():
+            assert profile["faults"].faulty, name
+            assert "expected_anomaly" in profile
+
+    def test_unknown_isolation_rejected(self):
+        with pytest.raises(ValueError):
+            MVCCDatabase(isolation="chaos")
