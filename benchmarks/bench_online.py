@@ -1,0 +1,131 @@
+"""Online incremental checking vs repeated batch re-checking.
+
+A monitor that wants a verdict after every transaction has two options:
+re-run the batch checker on the growing prefix (cost grows with history
+length, so amortized per-transaction cost grows without bound) or check
+incrementally with :class:`repro.online.OnlineChecker` (cost per
+transaction tracks the *residue* — unresolved constraints plus the new
+edges — not the history).
+
+This benchmark streams generated workloads of increasing length and
+reports amortized per-transaction wall time for:
+
+- ``online``      — incremental, solving after every transaction;
+- ``online/8``    — incremental, solving every 8th transaction;
+- ``online+win``  — incremental with a bounded window (eviction on);
+- ``rebatch/8``   — batch re-check of the prefix every 8th transaction
+  (a *conservative* stand-in for per-transaction re-checking, which
+  would be 8x slower again).
+
+Expected shape: the rebatch column grows roughly linearly with stream
+length (each re-check pays for the whole prefix), while the online
+columns stay flat — the incremental checker is asymptotically below any
+repeated-batch schedule.
+"""
+
+import time
+
+import pytest
+
+from _common import scaled
+from repro.bench.harness import render_table
+from repro.core.checker import check_snapshot_isolation
+from repro.core.history import HistoryBuilder
+from repro.online import OnlineChecker, WindowPolicy
+from repro.storage.client import stream_workload
+from repro.storage.database import MVCCDatabase
+from repro.workloads.generator import WorkloadParams, generate_workload
+
+SESSIONS = 6
+SIZES = [scaled(120), scaled(240), scaled(480)]
+REBATCH_STRIDE = 8
+
+
+def stream_txns(n_txns: int, seed: int = 11):
+    """A valid SI transaction stream in commit order.
+
+    Commit order matters: every prefix of a commit-ordered stream is a
+    causally closed (hence checkable) history, which is what both a
+    repeated-batch monitor and the online checker actually consume.
+    """
+    params = WorkloadParams(
+        sessions=SESSIONS,
+        txns_per_session=max(2, n_txns // SESSIONS),
+        ops_per_txn=5,
+        keys=max(10, n_txns // 5),
+        read_proportion=0.5,
+    )
+    spec = generate_workload(params, seed=seed)
+    db = MVCCDatabase(isolation="snapshot", seed=seed)
+    return list(stream_workload(db, spec, seed=seed))
+
+
+def online_amortized(txns, *, solve_every: int = 1,
+                     windowed: bool = False) -> float:
+    """Amortized seconds per transaction, checking online."""
+    window = WindowPolicy(max_live=64, gc_every=32) if windowed else None
+    checker = OnlineChecker(
+        solve_every=solve_every,
+        window=window,
+        sessions=range(SESSIONS) if windowed else None,
+    )
+    start = time.perf_counter()
+    for session, ops, status in txns:
+        result = checker.add(session, ops, status=status)
+        assert result.satisfies_si, "benchmark streams are SI-valid"
+    final = checker.finish()
+    elapsed = time.perf_counter() - start
+    assert final.satisfies_si
+    return elapsed / max(1, len(txns))
+
+
+def rebatch_amortized(txns, *, stride: int = REBATCH_STRIDE) -> float:
+    """Amortized seconds per transaction, re-checking the growing prefix
+    with the batch pipeline every ``stride`` transactions."""
+    start = time.perf_counter()
+    for upto in range(stride, len(txns) + 1, stride):
+        builder = HistoryBuilder()
+        for session, ops, status in txns[:upto]:
+            builder.txn(session, ops, status=status)
+        result = check_snapshot_isolation(builder.build())
+        assert result.satisfies_si
+    elapsed = time.perf_counter() - start
+    return elapsed / len(txns)
+
+
+MODES = {
+    "online": lambda h: online_amortized(h),
+    "online/8": lambda h: online_amortized(h, solve_every=8),
+    "online+win": lambda h: online_amortized(h, solve_every=8, windowed=True),
+    f"rebatch/{REBATCH_STRIDE}": lambda h: rebatch_amortized(h),
+}
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_online_amortized(benchmark, mode):
+    txns = stream_txns(SIZES[0])
+    per_txn = benchmark.pedantic(MODES[mode], args=(txns,),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["ms_per_txn"] = round(per_txn * 1000, 3)
+
+
+def main():
+    rows = []
+    for size in SIZES:
+        txns = stream_txns(size)
+        cells = [str(len(txns))]
+        for mode in ("online", "online/8", "online+win",
+                     f"rebatch/{REBATCH_STRIDE}"):
+            per_txn = MODES[mode](txns)
+            cells.append(f"{per_txn * 1000:.2f}")
+        rows.append(cells)
+    print("\nOnline vs repeated-batch checking (amortized ms per txn)")
+    print(render_table(
+        ["txns", "online", "online/8", "online+win",
+         f"rebatch/{REBATCH_STRIDE}"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

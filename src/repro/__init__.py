@@ -29,6 +29,7 @@ from .core import (
     W,
     check_snapshot_isolation,
 )
+from .online import OnlineChecker, OnlineResult, WindowPolicy
 
 __version__ = "1.0.0"
 
@@ -40,10 +41,13 @@ __all__ = [
     "History",
     "HistoryBuilder",
     "Operation",
+    "OnlineChecker",
+    "OnlineResult",
     "PolySIChecker",
     "R",
     "Transaction",
     "W",
+    "WindowPolicy",
     "check_snapshot_isolation",
     "__version__",
 ]

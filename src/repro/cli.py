@@ -3,7 +3,11 @@
 Commands:
 
 - ``check HISTORY``     — check a history file for snapshot isolation;
-  exit code 0 (satisfies), 1 (violation), 2 (error).
+  exit code 0 (satisfies), 1 (violation), 2 (error).  ``--stream``
+  replays the file through the online incremental checker instead of
+  the batch pipeline.
+- ``watch``             — run a workload against a (possibly faulty)
+  store and check the transaction stream *online*, as it commits.
 - ``generate``          — generate a workload, run it on the bundled
   store, and write the recorded history.
 - ``audit``             — repeatedly run workloads against a (faulty)
@@ -22,7 +26,8 @@ from typing import Optional, Sequence
 from .core.checker import PolySIChecker
 from .histories.codec import dump_history, load_history
 from .interpret import interpret_violation
-from .storage.client import run_workload
+from .online import OnlineChecker, WindowPolicy
+from .storage.client import run_workload, stream_workload
 from .storage.database import MVCCDatabase
 from .storage.faults import DATABASE_PROFILES
 from .workloads.corpus import known_anomaly_corpus
@@ -59,6 +64,19 @@ def _params(args) -> WorkloadParams:
 def cmd_check(args) -> int:
     """``repro check``: verdict + timings; optional interpretation."""
     history = load_history(args.history, fmt=args.format)
+    if args.stream:
+        if args.explain or args.dot:
+            print("error: --explain/--dot require the batch pipeline; "
+                  "re-run without --stream", file=sys.stderr)
+            return 2
+        online = OnlineChecker(prune=not args.no_prune,
+                               solve_every=args.solve_every)
+        result = online.replay(history)
+        print(result.describe())
+        print("stages (s): " + ", ".join(
+            f"{k}={v:.3f}" for k, v in result.timings.items()
+        ))
+        return 0 if result.satisfies_si else 1
     checker = PolySIChecker(prune=not args.no_prune)
     result = checker.check(history)
     print(result.describe())
@@ -75,6 +93,49 @@ def cmd_check(args) -> int:
                 handle.write(example.to_dot())
             print(f"counterexample DOT written to {args.dot}")
     return 1
+
+
+def cmd_watch(args) -> int:
+    """``repro watch``: online-check a live transaction stream.
+
+    Generates a workload, runs it against the bundled store (optionally
+    with a fault profile), and feeds each transaction to the incremental
+    checker as it commits — stopping at the first violation.
+    """
+    spec = generate_workload(_params(args), seed=args.seed)
+    faults = DATABASE_PROFILES[args.profile]["faults"] if args.profile else None
+    db = MVCCDatabase(isolation=args.isolation, faults=faults, seed=args.seed)
+    window = None
+    if args.max_live:
+        window = WindowPolicy(max_live=args.max_live)
+    checker = OnlineChecker(
+        solve_every=args.solve_every,
+        window=window,
+        sessions=range(args.sessions) if window else None,
+    )
+    seen = 0
+    for session, ops, status in stream_workload(db, spec, seed=args.seed):
+        result = checker.add(session, ops, status=status)
+        seen += 1
+        if not result.satisfies_si:
+            print(f"violation after {seen} transaction(s):")
+            print(result.describe())
+            return 1
+        if args.report_every and seen % args.report_every == 0:
+            print(
+                f"{seen} txns: SI so far; live={checker.live_transactions} "
+                f"unresolved={checker.unresolved_constraints} "
+                f"({1000 * result.total_time / max(1, seen):.2f} ms/txn)"
+            )
+    result = checker.finish()
+    print(result.describe())
+    print(
+        f"checked {result.stats['accepted']} committed transactions in "
+        f"{result.total_time:.3f}s "
+        f"({1000 * result.total_time / max(1, result.stats['accepted']):.2f} "
+        "ms/txn amortized)"
+    )
+    return 0 if result.satisfies_si else 1
 
 
 def cmd_generate(args) -> int:
@@ -157,10 +218,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="json", choices=["json", "text"])
     p.add_argument("--no-prune", action="store_true",
                    help="disable constraint pruning")
+    p.add_argument("--stream", action="store_true",
+                   help="replay through the online incremental checker")
+    p.add_argument("--solve-every", type=int, default=1,
+                   help="online mode: solve the SAT residue every N txns")
     p.add_argument("--explain", action="store_true",
                    help="run the interpretation algorithm on violations")
     p.add_argument("--dot", help="write the counterexample DOT here")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("watch", help="online-check a live workload stream")
+    _add_workload_args(p)
+    p.add_argument("--isolation", default="snapshot",
+                   choices=["snapshot", "serializable", "read_committed"])
+    p.add_argument("--profile", choices=sorted(DATABASE_PROFILES),
+                   help="inject this database profile's faults")
+    p.add_argument("--solve-every", type=int, default=1,
+                   help="solve the SAT residue every N transactions")
+    p.add_argument("--max-live", type=int, default=0,
+                   help="bound live transactions (windowed eviction)")
+    p.add_argument("--report-every", type=int, default=25,
+                   help="print a status line every N transactions (0: off)")
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser("generate", help="generate and record a workload")
     _add_workload_args(p)

@@ -29,7 +29,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..utils.reachability import Reachability, transitive_closure_bits
 from .polygraph import Constraint, Edge, GeneralizedPolygraph, RW, WW, DEP_LABELS
 
-__all__ = ["PruneResult", "prune_constraints", "find_known_cycle"]
+__all__ = [
+    "PruneResult",
+    "branch_impossible",
+    "prune_constraints",
+    "find_known_cycle",
+]
 
 
 class PruneResult:
@@ -105,11 +110,19 @@ def _dep_predecessors(dep: List[set]) -> List[List[int]]:
     return preds
 
 
-def _branch_impossible(
+def branch_impossible(
     edges: Tuple[Edge, ...],
     reach: Reachability,
     dep_preds: List[List[int]],
 ) -> bool:
+    """The paper's two impossibility rules (Section 4.3, Figure 4).
+
+    ``reach`` is any oracle with ``has(u, v)`` — the batch
+    :class:`Reachability` or the online incremental closure;
+    ``dep_preds[v]`` iterates the known immediate Dep-predecessors of
+    ``v``.  Shared by batch and online pruning so the rules cannot
+    diverge.
+    """
     for src, dst, label, _key in edges:
         if label == WW:
             if reach.has(dst, src):
@@ -148,8 +161,8 @@ def prune_constraints(
         remaining: List[Constraint] = []
         changed = False
         for cons in graph.constraints:
-            either_bad = _branch_impossible(cons.either, reach, dep_preds)
-            orelse_bad = _branch_impossible(cons.orelse, reach, dep_preds)
+            either_bad = branch_impossible(cons.either, reach, dep_preds)
+            orelse_bad = branch_impossible(cons.orelse, reach, dep_preds)
             if either_bad and orelse_bad:
                 result.ok = False
                 result.violation_constraint = cons

@@ -114,10 +114,22 @@ class CDCLSolver:
         """Attach a DPLL(T) theory (see :mod:`repro.solver.graph`)."""
         self.theory = theory
 
+    def backtrack_to_root(self) -> None:
+        """Undo every non-root assignment (decision level 0).
+
+        Incremental use: after a :meth:`solve` call, return to the root
+        level before adding further variables or clauses and re-solving.
+        Root-level facts and learned clauses are kept — clauses learned
+        under an earlier clause set stay implied when clauses are only
+        ever *added*, which is what makes cross-call reuse sound.
+        """
+        self._backtrack(0)
+
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially UNSAT.
 
-        Must be called before :meth:`solve` (top level only).
+        Must be called at the top level (decision level 0); between solve
+        calls, :meth:`backtrack_to_root` first.
         """
         if self._unsat:
             return False
@@ -350,12 +362,20 @@ class CDCLSolver:
     # -- main loop ------------------------------------------------------------------
 
     def solve(self) -> bool:
-        """Returns True (SAT, model available) or False (UNSAT)."""
+        """Returns True (SAT, model available) or False (UNSAT).
+
+        May be called repeatedly, with clauses and variables added in
+        between (see :meth:`backtrack_to_root`); each call starts from
+        the root level and keeps previously learned clauses.
+        """
         if self._unsat:
             return False
+        self._backtrack(0)
         if self.theory is not None:
-            self.theory.reset()
-            self._theory_head = 0
+            # Root-level theory assertions survive across calls (the
+            # backtrack pops everything above them); re-feeding only the
+            # yet-unseen tail of the trail keeps repeated solves cheap.
+            self._theory_head = min(self._theory_head, len(self.trail))
         restart_count = 0
         conflicts_until_restart = self.RESTART_BASE * _luby(1)
         conflicts_in_round = 0
@@ -374,6 +394,9 @@ class CDCLSolver:
                     if lvl > max_level:
                         max_level = lvl
                 if max_level == 0:
+                    # Conflict among root-level facts: permanently UNSAT
+                    # (latched, so repeated incremental solves stay False).
+                    self._unsat = True
                     return False
                 if max_level < self.decision_level:
                     self._backtrack(max_level)
@@ -381,6 +404,7 @@ class CDCLSolver:
                 self._backtrack(back_level)
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
+                        self._unsat = True
                         return False
                 else:
                     self.learned_clauses.append(learnt)

@@ -46,7 +46,7 @@ class AcyclicityTheory:
         self.num_vertices = num_vertices
         if static_adj is None:
             static_adj = [() for _ in range(num_vertices)]
-        self.static_adj: List[tuple] = [tuple(row) for row in static_adj]
+        self.static_adj: List[List[int]] = [list(row) for row in static_adj]
         self.static_pred: List[List[int]] = [[] for _ in range(num_vertices)]
         for u, row in enumerate(self.static_adj):
             for v in row:
@@ -87,6 +87,41 @@ class AcyclicityTheory:
         if position != n:
             raise StaticCycleError("static edge set contains a cycle")
         return order
+
+    # -- incremental growth ---------------------------------------------------
+
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex; returns its id.
+
+        A vertex with no edges can take any order position, so appending
+        it at the end keeps the current topological order valid.
+        """
+        v = self.num_vertices
+        self.num_vertices += 1
+        self.static_adj.append([])
+        self.static_pred.append([])
+        self.var_out.append([])
+        self.var_in.append([])
+        self.order.append(v)
+        return v
+
+    def add_static_edge(self, u: int, v: int) -> Optional[List[int]]:
+        """Insert a permanent edge ``u -> v`` between solves.
+
+        Returns None on success.  If the edge closes a directed cycle,
+        returns the *variable* edge vars on that cycle without inserting
+        it — an empty list means the cycle is entirely static, i.e. the
+        permanent facts alone are inconsistent.
+        """
+        if u == v:
+            return []
+        if self.order[u] >= self.order[v]:
+            conflict = self._discover_and_reorder(u, v)
+            if conflict is not None:
+                return conflict
+        self.static_adj[u].append(v)
+        self.static_pred[v].append(u)
+        return None
 
     # -- registration ---------------------------------------------------------
 

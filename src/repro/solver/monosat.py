@@ -50,15 +50,46 @@ class AcyclicGraphSolver:
         self._solver.ensure_vars(n)
 
     def add_clause(self, lits: Iterable[int]) -> None:
-        """Add a CNF clause over previously allocated variables."""
+        """Add a CNF clause over previously allocated variables.
+
+        Valid both at construction time and between solve calls (the
+        solver is returned to its root level first).
+        """
         lits = list(lits)
         self._clauses.append(lits)
+        self._solver.backtrack_to_root()
         self._solver.add_clause(lits)
 
     def add_edge(self, var: int, u: int, v: int) -> None:
         """Declare ``var`` to mean "edge u -> v is present"."""
         self._theory.register_edge(var, u, v)
         self._edges[var] = (u, v)
+
+    # -- incremental growth (online checking) --------------------------------
+
+    def add_vertex(self) -> int:
+        """Append a fresh vertex to the graph; returns its id."""
+        self.num_vertices += 1
+        return self._theory.add_vertex()
+
+    def add_static_edge(self, u: int, v: int) -> Optional[List[int]]:
+        """Insert a permanent (variable-free) edge between solves.
+
+        Returns None on success, or the variable edges of the directed
+        cycle the insertion would close (empty list: a purely static
+        cycle).  See :meth:`AcyclicityTheory.add_static_edge`.
+        """
+        self._solver.backtrack_to_root()
+        return self._theory.add_static_edge(u, v)
+
+    def backtrack_to_root(self) -> None:
+        """Return the underlying solver to decision level 0.
+
+        Required before adding clauses or edges between solve calls;
+        learned clauses and root-level facts survive, which is how the
+        online checker reuses conflict knowledge across micro-batches.
+        """
+        self._solver.backtrack_to_root()
 
     @property
     def num_vars(self) -> int:

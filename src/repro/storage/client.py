@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence
 from ..core.history import ABORTED, COMMITTED, History, HistoryBuilder, R, W
 from .database import MVCCDatabase
 
-__all__ = ["run_workload", "WorkloadRun"]
+__all__ = ["run_workload", "stream_workload", "WorkloadRun"]
 
 
 class WorkloadRun:
@@ -56,28 +56,25 @@ class _SessionState:
         return self.txn_index >= len(self.txns)
 
 
-def run_workload(
+def stream_workload(
     db: MVCCDatabase,
     spec: Sequence[Sequence[Sequence[tuple]]],
     *,
     seed: int = 0,
-    record_aborted: bool = True,
-) -> WorkloadRun:
-    """Execute ``spec`` against ``db`` with a seeded random interleaving.
+):
+    """Execute ``spec`` against ``db``, yielding transactions as they end.
 
-    Returns the recorded :class:`~repro.core.history.History`.  Aborted
-    transactions are recorded with ``ABORTED`` status when
-    ``record_aborted`` (the checker's determinate-transaction model);
-    otherwise they are dropped from the history.
+    A generator of ``(session, ops, status)`` triples in *commit order* —
+    the feed an online checker consumes
+    (:meth:`repro.online.OnlineChecker.add` takes exactly this shape).
+    The interleaving is the same seeded operation-granularity scheduler
+    as :func:`run_workload`, so streaming and batch observe identical
+    histories for a given seed.
     """
     rng = random.Random(seed)
-    builder = HistoryBuilder()
     states = [
         _SessionState(sid, session_spec) for sid, session_spec in enumerate(spec)
     ]
-    committed = aborted = 0
-
-    # Ensure every session appears in the history even if it only aborts.
     pending = [s for s in states if not s.done]
     while pending:
         state = rng.choice(pending)
@@ -97,16 +94,37 @@ def run_workload(
                 state.observed.append(R(op[1], value))
         if state.op_index >= len(txn_spec):
             ok = db.commit(state.handle)
-            if ok:
-                committed += 1
-                builder.txn(state.session_id, state.observed, status=COMMITTED)
-            else:
-                aborted += 1
-                if record_aborted:
-                    builder.txn(state.session_id, state.observed, status=ABORTED)
+            status = COMMITTED if ok else ABORTED
             state.handle = None
             state.txn_index += 1
             if state.done:
                 pending = [s for s in pending if s is not state]
+            yield state.session_id, tuple(state.observed), status
 
+
+def run_workload(
+    db: MVCCDatabase,
+    spec: Sequence[Sequence[Sequence[tuple]]],
+    *,
+    seed: int = 0,
+    record_aborted: bool = True,
+) -> WorkloadRun:
+    """Execute ``spec`` against ``db`` with a seeded random interleaving.
+
+    Returns the recorded :class:`~repro.core.history.History`.  Aborted
+    transactions are recorded with ``ABORTED`` status when
+    ``record_aborted`` (the checker's determinate-transaction model);
+    otherwise they are dropped from the history.  This is the batch view
+    of :func:`stream_workload`'s feed.
+    """
+    builder = HistoryBuilder()
+    committed = aborted = 0
+    for session, ops, status in stream_workload(db, spec, seed=seed):
+        if status == COMMITTED:
+            committed += 1
+            builder.txn(session, ops, status=COMMITTED)
+        else:
+            aborted += 1
+            if record_aborted:
+                builder.txn(session, ops, status=ABORTED)
     return WorkloadRun(builder.build(), committed, aborted)

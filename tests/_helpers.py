@@ -1,0 +1,88 @@
+"""Shared history constructors for the test suite.
+
+These used to live in ``tests/conftest.py``, but ``from conftest import
+...`` is ambiguous under root-level collection: pytest also injects
+``benchmarks/`` (which has its own conftest) onto ``sys.path``, and
+whichever directory lands first wins.  A plainly-named helper module has
+no competing twin, so imports resolve the same way regardless of what
+else was collected.
+"""
+
+from __future__ import annotations
+
+from repro.core.history import History, HistoryBuilder, R, W
+
+__all__ = [
+    "build",
+    "long_fork_history",
+    "lost_update_history",
+    "write_skew_history",
+    "causality_history",
+    "serializable_history",
+]
+
+
+def build(*session_txns) -> History:
+    """Compact history constructor: each op-list in its own session, or
+    pass ``(session, [ops...])`` tuples to control sessions explicitly."""
+    builder = HistoryBuilder()
+    for i, item in enumerate(session_txns):
+        if isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], int):
+            session, ops = item
+        else:
+            session, ops = i, item
+        builder.txn(session, ops)
+    return builder.build()
+
+
+# Canonical paper histories, used across several test modules. ----------------
+
+
+def long_fork_history() -> History:
+    """Figure 3(a): the long-fork anomaly (violates SI)."""
+    b = HistoryBuilder()
+    b.txn(0, [W("x", 0), W("y", 0)])   # T0
+    b.txn(0, [W("x", 2)])              # T5 (same session as T0)
+    b.txn(1, [W("x", 1)])              # T1
+    b.txn(2, [W("y", 1)])              # T2
+    b.txn(3, [R("x", 1), R("y", 0)])   # T3
+    b.txn(4, [R("x", 0), R("y", 1)])   # T4
+    return b.build()
+
+
+def lost_update_history() -> History:
+    """Figure 5: two concurrent read-modify-writes (violates SI)."""
+    b = HistoryBuilder()
+    b.txn(0, [W("k", 4)])
+    b.txn(1, [R("k", 4), W("k", 5)])
+    b.txn(2, [R("k", 4), W("k", 13)])
+    return b.build()
+
+
+def write_skew_history() -> History:
+    """Classic write skew: allowed under SI, forbidden under SER."""
+    b = HistoryBuilder()
+    b.txn(0, [W("x", 0), W("y", 0)])
+    b.txn(1, [R("x", 0), R("y", 0), W("x", 1)])
+    b.txn(2, [R("x", 0), R("y", 0), W("y", 1)])
+    return b.build()
+
+
+def causality_history() -> History:
+    """Figure 13: a session overwrites a value then reads it back stale."""
+    b = HistoryBuilder()
+    b.txn(1, [W(10, 26), W(13, 21)])   # T:(1,15)
+    b.txn(0, [R(13, 21)])              # T:(0,6)
+    b.txn(0, [W(10, 3)])               # T:(0,7)
+    b.txn(0, [R(10, 26)])              # T:(0,9)
+    return b.build()
+
+
+def serializable_history() -> History:
+    """A plainly serializable (hence SI) history."""
+    b = HistoryBuilder()
+    b.txn(0, [W("x", 1)])
+    b.txn(1, [R("x", 1), W("y", 2)])
+    b.txn(0, [R("y", 2), W("x", 3)])
+    b.txn(2, [R("x", 3), R("y", 2)])
+    return b.build()

@@ -8,7 +8,7 @@ from repro.baselines.dbcop import DbcopBudgetExceeded, DbcopChecker
 from repro.baselines.reduction import TWIN_PREFIX, split_history
 from repro.core.history import ABORTED, HistoryBuilder, R, W
 
-from conftest import (
+from _helpers import (
     build,
     causality_history,
     long_fork_history,

@@ -21,7 +21,7 @@ from repro.workloads.corpus import make_anomaly
 from repro.workloads.generator import WorkloadParams, generate_history
 from repro.workloads.random_histories import random_history
 
-from conftest import (
+from _helpers import (
     build,
     causality_history,
     long_fork_history,

@@ -6,7 +6,7 @@ import pytest
 from repro.core.checker import CheckResult, PolySIChecker, check_snapshot_isolation
 from repro.core.history import ABORTED, HistoryBuilder, R, W
 
-from conftest import (
+from _helpers import (
     build,
     causality_history,
     long_fork_history,

@@ -7,7 +7,7 @@ import pytest
 from repro.cli import main
 from repro.histories.codec import dump_history
 
-from conftest import long_fork_history, serializable_history
+from _helpers import long_fork_history, serializable_history
 
 
 class TestCheck:

@@ -111,7 +111,7 @@ class TestFileIO:
     def test_verdict_survives_roundtrip(self):
         """Serialization must not change the checker's verdict."""
         from repro import check_snapshot_isolation
-        from conftest import long_fork_history
+        from _helpers import long_fork_history
 
         h = long_fork_history()
         back = history_from_json(history_to_json(h))

@@ -5,7 +5,7 @@ from repro.core.history import HistoryBuilder, R, W
 from repro.core.polygraph import RW, WW, build_polygraph
 from repro.core.pruning import prune_constraints
 
-from conftest import build, long_fork_history, write_skew_history
+from _helpers import build, long_fork_history, write_skew_history
 
 
 class TestStaticPart:
@@ -83,7 +83,7 @@ class TestVariablePart:
             assert edge[1] == nxt[0]
 
     def test_lost_update_unsat_via_solver(self):
-        from conftest import lost_update_history
+        from _helpers import lost_update_history
 
         graph, _ = build_polygraph(lost_update_history())
         assert prune_constraints(graph).ok

@@ -19,6 +19,7 @@ CASES = {
     "social_network.py": ["classification"],
     "list_append_elle.py": ["violation (correct!)"],
     "compare_checkers.py": ["sessions"],
+    "online_monitoring.py": ["ms/txn amortized", "violation detected"],
 }
 
 

@@ -11,7 +11,7 @@ from repro.interpret import (
     interpret_violation,
 )
 
-from conftest import (
+from _helpers import (
     build,
     causality_history,
     long_fork_history,

@@ -10,7 +10,7 @@ from repro.interpret.interpretation import (
     interpret_violation,
 )
 
-from conftest import long_fork_history, lost_update_history
+from _helpers import long_fork_history, lost_update_history
 
 
 class TestConstraintIndex:

@@ -9,7 +9,7 @@ from repro.core.polygraph import (
     build_polygraph,
 )
 
-from conftest import build, long_fork_history
+from _helpers import build, long_fork_history
 
 
 class TestKnownEdges:

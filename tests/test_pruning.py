@@ -9,7 +9,7 @@ from repro.utils.reachability import transitive_closure_numpy
 from repro.workloads.generator import WorkloadParams, generate_history
 from repro.workloads.random_histories import random_history
 
-from conftest import build, long_fork_history, lost_update_history
+from _helpers import build, long_fork_history, lost_update_history
 
 
 class TestBasicPruning:
