@@ -1,0 +1,152 @@
+"""Serial vs sharded-parallel checking on decomposable histories.
+
+A multi-tenant database produces exactly the shape the parallel engine
+shards: transactions touching disjoint key sets that never share an
+undesired cycle.  This benchmark stitches several independently
+generated (valid) workload executions into one history with
+tenant-prefixed keys, then checks it with:
+
+- ``serial``   — ``PolySIChecker`` (which already takes the fast path
+  of skipping encode+solve for constraint-free components, but prunes
+  the whole polygraph with one big closure);
+- ``workers=N``— ``ParallelChecker``: one prune+encode+solve shard per
+  weakly-connected component on an N-process pool.
+
+Two effects compound: per-component closures are quadratically smaller
+than the whole-history closure, and the shards run concurrently.  The
+acceptance bar for this repo is >= 1.5x at 4 workers on >= 2000
+transactions; typical machines land well above it.
+
+Run:  REPRO_BENCH_SCALE=1 PYTHONPATH=../src python bench_parallel.py
+"""
+
+import time
+
+import pytest
+
+from _common import scaled
+from repro.bench.harness import render_table
+from repro.core.checker import PolySIChecker
+from repro.core.history import History, Operation
+from repro.parallel import ParallelChecker
+from repro.workloads.generator import WorkloadParams, generate_history
+
+GROUPS = 8
+SESSIONS_PER_GROUP = 4
+TXNS_PER_GROUP = scaled(300)
+WORKER_COUNTS = [1, 2, 4]
+
+
+def multi_component_history(
+    groups: int = GROUPS,
+    txns_per_group: int = TXNS_PER_GROUP,
+    seed: int = 1,
+) -> History:
+    """``groups`` valid workload executions merged into one history.
+
+    Keys get a per-group prefix and written values a per-group tag, so
+    the merged history stays UniqueValue-clean and decomposes into
+    ``groups`` weakly-connected components.
+    """
+    session_ops = []
+    aborted = set()
+    for g in range(groups):
+        params = WorkloadParams(
+            sessions=SESSIONS_PER_GROUP,
+            txns_per_session=max(2, txns_per_group // SESSIONS_PER_GROUP),
+            ops_per_txn=6,
+            read_proportion=0.4,
+            keys=max(20, txns_per_group // 6),
+            distribution="zipfian",
+        )
+        history = generate_history(params, seed=seed + g).history
+        for sess in history.sessions:
+            ops_list = []
+            for txn in sess:
+                ops_list.append([
+                    Operation(
+                        op.kind,
+                        f"g{g}:{op.key}",
+                        (g, op.value) if op.value is not None else None,
+                    )
+                    for op in txn.ops
+                ])
+                if not txn.committed:
+                    aborted.add((len(session_ops), len(ops_list) - 1))
+            session_ops.append(ops_list)
+    return History.from_ops(session_ops, aborted=aborted)
+
+
+#: Wall-clock best-of-N to damp scheduler noise (1 in CI smoke runs).
+ROUNDS = 2
+
+
+def serial_seconds(history: History) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = PolySIChecker().check(history)
+        best = min(best, time.perf_counter() - start)
+        assert result.satisfies_si, "benchmark histories are SI-valid"
+    return best
+
+
+def parallel_seconds(history: History, workers: int) -> float:
+    best = float("inf")
+    with ParallelChecker(workers) as checker:
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            result = checker.check(history)
+            best = min(best, time.perf_counter() - start)
+            assert result.satisfies_si, "benchmark histories are SI-valid"
+    return best
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_checking(benchmark, workers):
+    history = multi_component_history()
+    seconds = benchmark.pedantic(parallel_seconds, args=(history, workers),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["seconds"] = round(seconds, 3)
+
+
+def main(argv=None):
+    import os
+    import sys
+
+    global WORKER_COUNTS
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:  # e.g. ``bench_parallel.py 2`` for a 2-worker-only smoke
+        WORKER_COUNTS = [int(arg) for arg in argv]
+
+    history = multi_component_history()
+    print(f"\nmulti-component history: {len(history)} txns, "
+          f"{GROUPS} disjoint key groups")
+    cpus = os.cpu_count() or 1
+    if cpus < max(WORKER_COUNTS):
+        print(f"note: {cpus} CPU(s) available — the engine caps its pool "
+              f"there, so higher worker counts measure the sharding win, "
+              f"not extra concurrency")
+
+    serial = serial_seconds(history)
+    row = [str(len(history)), f"{serial:.2f}"]
+    speedups = {}
+    for workers in WORKER_COUNTS:
+        seconds = parallel_seconds(history, workers)
+        speedups[workers] = serial / seconds if seconds else float("inf")
+        row.append(f"{seconds:.2f}")
+    rows = [row]
+
+    headers = ["txns", "serial"] + [f"{w}w" for w in WORKER_COUNTS]
+    print("\nSerial vs sharded checking (wall-clock seconds)")
+    print(render_table(headers, rows))
+    print("\nspeedup vs serial: " + ", ".join(
+        f"{w} workers = {speedups[w]:.2f}x" for w in WORKER_COUNTS
+    ))
+    best = max(speedups.values())
+    print(f"best speedup: {best:.2f}x "
+          f"({'meets' if best >= 1.5 else 'below'} the 1.5x bar)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Parallel sharded checking: many cores, one verdict.
+
+Builds a history whose transactions split into disjoint-key "tenant"
+islands (the shape a multi-tenant database produces), checks it with the
+serial PolySI pipeline and with the parallel sharded engine at several
+worker counts, and shows that the verdicts agree while the work spreads
+across component shards.  A second run plants a lost-update anomaly in
+one tenant and shows the violation surviving the shard merge with a
+concrete witness cycle.
+
+Run:  python examples/parallel_checking.py
+"""
+
+import time
+
+from repro import HistoryBuilder, ParallelChecker, R, W, check_snapshot_isolation
+from repro.interpret import interpret_violation
+
+
+def tenant_history(tenants=6, txns_per_tenant=40, *, violating_tenant=None):
+    """Disjoint-key islands: one read-modify-write chain per tenant, plus
+    a pair of blind writes so every island keeps solver work."""
+    b = HistoryBuilder()
+    for t in range(tenants):
+        key, session = f"tenant{t}:balance", 2 * t
+        b.txn(session, [W(key, (t, 0))])
+        for i in range(1, txns_per_tenant):
+            b.txn(session + (i % 2), [R(key, (t, i - 1)), W(key, (t, i))])
+        b.txn(session, [W(f"tenant{t}:audit", (t, "a"))])
+        b.txn(session + 1, [W(f"tenant{t}:audit", (t, "b"))])
+        if t == violating_tenant:
+            # Two concurrent RMWs of the same balance: a lost update.
+            b.txn(session, [R(key, (t, 5)), W(key, (t, "lost-1"))])
+            b.txn(session + 1, [R(key, (t, 5)), W(key, (t, "lost-2"))])
+    return b.build()
+
+
+def main():
+    history = tenant_history()
+    print(f"history: {len(history)} txns across disjoint tenant key sets")
+
+    start = time.perf_counter()
+    serial = check_snapshot_isolation(history)
+    serial_s = time.perf_counter() - start
+    print(f"serial   : {'SI' if serial.satisfies_si else 'VIOLATION'} "
+          f"in {serial_s * 1000:.0f} ms")
+
+    for workers in (2, 4):
+        with ParallelChecker(workers) as checker:
+            start = time.perf_counter()
+            result = checker.check(history)
+            elapsed = time.perf_counter() - start
+        print(f"workers={workers}: "
+              f"{'SI' if result.satisfies_si else 'VIOLATION'} "
+              f"in {elapsed * 1000:.0f} ms "
+              f"({result.stats['components']} components, "
+              f"{result.stats.get('shards', 0)} shards, "
+              f"strategy={result.stats['strategy']})")
+        assert result.satisfies_si == serial.satisfies_si
+    print("verdicts agree across all worker counts")
+
+    print("\n--- planting a lost update in tenant 3 ---")
+    bad = tenant_history(violating_tenant=3)
+    with ParallelChecker(4) as checker:
+        result = checker.check(bad)
+    assert not result.satisfies_si
+    print(result.describe())
+    example = interpret_violation(result)
+    print(f"anomaly class: {example.classification}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,8 +30,9 @@ from .core import (
     check_snapshot_isolation,
 )
 from .online import OnlineChecker, OnlineResult, WindowPolicy
+from .parallel import ParallelChecker, check_snapshot_isolation_parallel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ABORTED",
@@ -43,11 +44,13 @@ __all__ = [
     "Operation",
     "OnlineChecker",
     "OnlineResult",
+    "ParallelChecker",
     "PolySIChecker",
     "R",
     "Transaction",
     "W",
     "WindowPolicy",
     "check_snapshot_isolation",
+    "check_snapshot_isolation_parallel",
     "__version__",
 ]

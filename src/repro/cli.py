@@ -27,6 +27,7 @@ from .core.checker import PolySIChecker
 from .histories.codec import dump_history, load_history
 from .interpret import interpret_violation
 from .online import OnlineChecker, WindowPolicy
+from .parallel import ParallelChecker
 from .storage.client import run_workload, stream_workload
 from .storage.database import MVCCDatabase
 from .storage.faults import DATABASE_PROFILES
@@ -34,6 +35,19 @@ from .workloads.corpus import known_anomaly_corpus
 from .workloads.generator import WorkloadParams, generate_workload
 
 __all__ = ["main"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--parallel``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (got {value})"
+        )
+    return value
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -69,6 +83,10 @@ def cmd_check(args) -> int:
             print("error: --explain/--dot require the batch pipeline; "
                   "re-run without --stream", file=sys.stderr)
             return 2
+        if args.parallel:
+            print("error: --parallel applies to the batch pipeline; "
+                  "re-run without --stream", file=sys.stderr)
+            return 2
         online = OnlineChecker(prune=not args.no_prune,
                                solve_every=args.solve_every)
         result = online.replay(history)
@@ -77,8 +95,17 @@ def cmd_check(args) -> int:
             f"{k}={v:.3f}" for k, v in result.timings.items()
         ))
         return 0 if result.satisfies_si else 1
-    checker = PolySIChecker(prune=not args.no_prune)
-    result = checker.check(history)
+    if args.parallel:
+        with ParallelChecker(args.parallel,
+                             prune=not args.no_prune) as checker:
+            result = checker.check(history)
+        print(f"checked with {args.parallel} worker(s): "
+              f"{result.stats.get('strategy', 'trivial')} strategy, "
+              f"{result.stats.get('components', 0)} component(s), "
+              f"{result.stats.get('shards', 0)} shard(s)")
+    else:
+        checker = PolySIChecker(prune=not args.no_prune)
+        result = checker.check(history)
     print(result.describe())
     print(f"stages (s): " + ", ".join(
         f"{k}={v:.3f}" for k, v in result.timings.items()
@@ -154,29 +181,75 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _audit_history(seed: int, params: WorkloadParams, profile: str):
+    """One audit iteration's recorded history (deterministic per seed)."""
+    faults = DATABASE_PROFILES[profile]["faults"]
+    spec = generate_workload(params, seed=seed)
+    db = MVCCDatabase(faults=faults, seed=seed)
+    return run_workload(db, spec, seed=seed).history
+
+
+def _audit_run_violates(seed: int, params: WorkloadParams,
+                        profile: str) -> bool:
+    """Pool worker: does the seed's run violate SI?  (Module-level so the
+    process pool can pickle it by reference.)"""
+    return not PolySIChecker().check(
+        _audit_history(seed, params, profile)
+    ).satisfies_si
+
+
 def cmd_audit(args) -> int:
     """``repro audit``: run workloads against a fault profile until a
-    violation appears, then explain it."""
-    faults = DATABASE_PROFILES[args.profile]["faults"]
-    checker = PolySIChecker()
-    for seed in range(args.runs):
-        spec = generate_workload(_params(args), seed=seed)
-        db = MVCCDatabase(faults=faults, seed=seed)
-        run = run_workload(db, spec, seed=seed)
-        result = checker.check(run.history)
-        if result.satisfies_si:
-            continue
-        example = interpret_violation(result)
-        print(f"violation found after {seed + 1} run(s)")
-        print(f"anomaly class: {example.classification}")
-        print(example.describe())
-        if args.dot:
-            with open(args.dot, "w", encoding="utf-8") as handle:
-                handle.write(example.to_dot())
-            print(f"counterexample DOT written to {args.dot}")
-        return 1
-    print(f"no violation in {args.runs} runs")
-    return 0
+    violation appears, then explain it.
+
+    With ``--parallel N`` the iterations run through a process pool;
+    futures are *collected* in seed order, so the reported seed is the
+    smallest violating one — identical to the serial scan.
+    """
+    params = _params(args)
+    hit: Optional[int] = None
+    result = None
+    if args.parallel and args.parallel > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=args.parallel) as pool:
+            futures = [
+                pool.submit(_audit_run_violates, seed, params, args.profile)
+                for seed in range(args.runs)
+            ]
+            for seed, future in enumerate(futures):
+                if future.result():
+                    hit = seed
+                    for rest in futures[seed + 1:]:
+                        rest.cancel()
+                    break
+        if hit is not None:
+            # Workers ship only a boolean; recheck the one hit locally
+            # for the full evidence object.
+            result = PolySIChecker().check(
+                _audit_history(hit, params, args.profile)
+            )
+    else:
+        checker = PolySIChecker()
+        for seed in range(args.runs):
+            candidate = checker.check(
+                _audit_history(seed, params, args.profile)
+            )
+            if not candidate.satisfies_si:
+                hit, result = seed, candidate
+                break
+    if hit is None:
+        print(f"no violation in {args.runs} runs")
+        return 0
+    example = interpret_violation(result)
+    print(f"violation found after {hit + 1} run(s)")
+    print(f"anomaly class: {example.classification}")
+    print(example.describe())
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(example.to_dot())
+        print(f"counterexample DOT written to {args.dot}")
+    return 1
 
 
 def cmd_corpus(args) -> int:
@@ -225,6 +298,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="run the interpretation algorithm on violations")
     p.add_argument("--dot", help="write the counterexample DOT here")
+    p.add_argument("--parallel", type=_positive_int, metavar="N",
+                   help="check with N worker processes (sharded engine)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("watch", help="online-check a live workload stream")
@@ -257,6 +332,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(DATABASE_PROFILES))
     p.add_argument("--runs", type=int, default=25)
     p.add_argument("--dot", help="write the counterexample DOT here")
+    p.add_argument("--parallel", type=_positive_int, metavar="N",
+                   help="run the audit iterations on N worker processes")
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("corpus", help="sweep the known-anomaly corpus")

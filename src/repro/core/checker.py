@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 from ..utils.reachability import (
     Reachability,
+    is_acyclic,
     transitive_closure_bits,
     transitive_closure_numpy,
 )
@@ -30,9 +31,14 @@ from .axioms import AxiomViolation, check_axioms
 from .encoding import SIEncoding, encode_polygraph, extract_violation_cycle
 from .history import History
 from .polygraph import Edge, GeneralizedPolygraph, build_polygraph
-from .pruning import PruneResult, prune_constraints
+from .pruning import PruneResult, find_known_cycle, prune_constraints
 
-__all__ = ["CheckResult", "PolySIChecker", "check_snapshot_isolation"]
+__all__ = [
+    "CheckResult",
+    "PolySIChecker",
+    "check_snapshot_isolation",
+    "static_induced_cycle",
+]
 
 _CLOSURES: dict = {
     "bits": transitive_closure_bits,
@@ -58,6 +64,9 @@ class CheckResult:
         #: Stage timings in seconds: construct / prune / encode / solve.
         self.timings: dict = {}
         self.solver_stats: dict = {}
+        #: Structural counters: component decomposition, solver-skip fast
+        #: path, and (for parallel checking) shard/worker accounting.
+        self.stats: dict = {}
 
     @property
     def total_time(self) -> float:
@@ -108,6 +117,8 @@ class CheckResult:
                  "key": repr(key) if key is not None else None}
                 for u, v, label, key in self.cycle
             ]
+        if self.stats:
+            payload["stats"] = self.stats
         if self.prune_result is not None:
             payload["pruning"] = self.prune_result.as_dict()
         if self.encoding is not None:
@@ -163,7 +174,21 @@ class PolySIChecker:
     def check(self, history: History) -> CheckResult:
         """Run the full pipeline on ``history``."""
         result = CheckResult()
+        graph = self.construct(history, result)
+        if graph is None:
+            return result
+        return self.check_polygraph(graph, result)
 
+    def construct(
+        self, history: History, result: CheckResult
+    ) -> Optional[GeneralizedPolygraph]:
+        """The pre-cycle stages: axioms plus polygraph construction.
+
+        Returns the polygraph to analyze, or None when the history is
+        already decided (axiom or construction anomalies — ``result``
+        then carries the verdict).  Shared by :meth:`check` and the
+        parallel checking engine, which shards the returned polygraph.
+        """
         if self.check_axioms_first:
             t0 = time.perf_counter()
             anomalies = check_axioms(history)
@@ -172,7 +197,7 @@ class PolySIChecker:
                 result.satisfies_si = False
                 result.anomalies = anomalies
                 result.decided_by = "axioms"
-                return result
+                return None
 
         t0 = time.perf_counter()
         graph, construction_anomalies = build_polygraph(
@@ -184,7 +209,24 @@ class PolySIChecker:
             result.satisfies_si = False
             result.anomalies = construction_anomalies
             result.decided_by = "axioms"
-            return result
+            return None
+        return graph
+
+    def check_polygraph(
+        self, graph: GeneralizedPolygraph, result: Optional[CheckResult] = None
+    ) -> CheckResult:
+        """The cycle-analysis stages (prune / decompose / encode / solve)
+        on an already-built polygraph.
+
+        Components of the polygraph with no unresolved constraints cannot
+        contribute a model-dependent cycle: they only need one acyclicity
+        check of their known induced graph, so they are skipped by the
+        encode+solve stages entirely (``result.stats`` reports the skip
+        count).  Also the per-shard worker body of the parallel engine,
+        which feeds reconstructed component fragments through it.
+        """
+        if result is None:
+            result = CheckResult()
 
         if self.prune:
             t0 = time.perf_counter()
@@ -197,18 +239,68 @@ class PolySIChecker:
                 result.cycle = prune_result.violation_cycle
                 return result
 
+        # Serial fast path: constraint-free components never reach the
+        # solver.  Every edge (known or constrained) is intra-component,
+        # so a cycle lives entirely inside one component and the verdict
+        # is the conjunction of per-part verdicts.
         t0 = time.perf_counter()
-        encoding = encode_polygraph(graph)
+        components, constraints_of = graph.constrained_components()
+        constrained = [bool(cons) for cons in constraints_of]
+        skipped = constrained.count(False)
+        result.stats["components"] = len(components)
+        result.stats["solver_skipped_components"] = skipped
+        result.timings["decompose"] = time.perf_counter() - t0
+
+        if skipped and skipped < len(components):
+            # Mixed graph: acyclicity-check the pure part on its own so
+            # the encoding only ever sees constrained components.
+            t0 = time.perf_counter()
+            pure_vertices = [
+                v for ci, comp in enumerate(components)
+                if not constrained[ci] for v in comp
+            ]
+            pure, pure_old = graph.subgraph(pure_vertices)
+            cycle = static_induced_cycle(pure)
+            result.timings["decompose"] += time.perf_counter() - t0
+            if cycle is not None:
+                result.satisfies_si = False
+                result.decided_by = "encoding"
+                result.cycle = _map_cycle(cycle, pure_old)
+                return result
+
+        if not graph.constraints:
+            # Pure known graph: one acyclicity check decides everything.
+            t0 = time.perf_counter()
+            cycle = static_induced_cycle(graph)
+            result.timings["decompose"] += time.perf_counter() - t0
+            if cycle is not None:
+                result.satisfies_si = False
+                result.decided_by = "encoding"
+                result.cycle = cycle
+                return result
+            result.satisfies_si = True
+            result.decided_by = "static"
+            return result
+
+        if skipped:
+            constrained_vertices = [
+                v for ci, comp in enumerate(components)
+                if constrained[ci] for v in comp
+            ]
+            enc_graph, enc_old = graph.subgraph(constrained_vertices)
+        else:
+            enc_graph, enc_old = graph, None
+
+        t0 = time.perf_counter()
+        encoding = encode_polygraph(enc_graph)
         result.timings["encode"] = time.perf_counter() - t0
         result.encoding = encoding
         if encoding.static_cycle:
             # The known induced graph is already cyclic: a violation exists
             # independently of how the remaining constraints resolve.
-            from .pruning import find_known_cycle
-
             result.satisfies_si = False
             result.decided_by = "encoding"
-            result.cycle = find_known_cycle(graph, [])
+            result.cycle = _map_cycle(find_known_cycle(enc_graph, []), enc_old)
             return result
 
         t0 = time.perf_counter()
@@ -222,9 +314,39 @@ class PolySIChecker:
 
         result.satisfies_si = False
         t0 = time.perf_counter()
-        result.cycle = extract_violation_cycle(encoding)
+        result.cycle = _map_cycle(extract_violation_cycle(encoding), enc_old)
         result.timings["explain"] = time.perf_counter() - t0
         return result
+
+
+def static_induced_cycle(graph: GeneralizedPolygraph) -> Optional[List[Edge]]:
+    """A concrete undesired cycle in the *known* induced graph
+    ``KI = Dep ∪ (Dep ; AntiDep)`` of ``graph``, or None when acyclic.
+
+    Ignores constraints entirely — this is the whole check a polygraph
+    (or component fragment) with no unresolved constraints needs, and
+    the static part of what :func:`encode_polygraph` would verify.
+    Builds KI through pruning's own adjacency helpers so there is a
+    single definition of the induced graph.
+    """
+    from .pruning import _induced_adjacency, _known_adjacency
+
+    dep, antidep = _known_adjacency(graph)
+    ki = _induced_adjacency(dep, antidep)
+    if is_acyclic(graph.num_vertices, [list(row) for row in ki]):
+        return None
+    return find_known_cycle(graph, [])
+
+
+def _map_cycle(
+    cycle: Optional[List[Edge]], old_of_new: Optional[List[int]]
+) -> Optional[List[Edge]]:
+    """Translate a subgraph-local witness cycle back to parent vertex ids
+    (identity when the check ran on the parent graph itself)."""
+    if cycle is None or old_of_new is None:
+        return cycle
+    return [(old_of_new[u], old_of_new[v], label, key)
+            for u, v, label, key in cycle]
 
 
 def check_snapshot_isolation(history: History, **options) -> CheckResult:

@@ -86,7 +86,7 @@ class Constraint:
 class GeneralizedPolygraph:
     """Vertices, known edges, and generalized constraints for a history."""
 
-    def __init__(self, history: History, num_vertices: int,
+    def __init__(self, history: Optional[History], num_vertices: int,
                  init_vertex: Optional[int]):
         self.history = history
         self.num_vertices = num_vertices
@@ -96,6 +96,10 @@ class GeneralizedPolygraph:
         self.constraints: List[Constraint] = []
         # (writer_vertex, key) -> list of reader vertices (from WR edges).
         self.readers_from: Dict[Tuple[int, object], List[int]] = {}
+        # Set on subgraphs (whose dense vertex ids no longer index the
+        # history): display names and transactions per local vertex.
+        self.labels: Optional[List[str]] = None
+        self._txn_of: Optional[List[Optional[Transaction]]] = None
 
     # -- mutation -------------------------------------------------------------
 
@@ -127,11 +131,22 @@ class GeneralizedPolygraph:
         """Paper-style display name of vertex ``v`` (``T:init`` for init)."""
         if v == self.init_vertex:
             return "T:init"
+        if self.labels is not None:
+            return self.labels[v]
+        if self.history is None:
+            # History-free fragment (a worker-rebuilt shard): stable
+            # fallback names so further subgraphing never dereferences
+            # the absent history.
+            return f"T{v}"
         return self.history.transactions[v].name
 
     def vertex_txn(self, v: int) -> Optional[Transaction]:
         """The transaction behind vertex ``v`` (None for the init vertex)."""
         if v == self.init_vertex:
+            return None
+        if self._txn_of is not None:
+            return self._txn_of[v]
+        if self.history is None:
             return None
         return self.history.transactions[v]
 
@@ -145,7 +160,138 @@ class GeneralizedPolygraph:
         out._known_set = set(self._known_set)
         out.constraints = list(self.constraints)
         out.readers_from = {k: list(v) for k, v in self.readers_from.items()}
+        out.labels = list(self.labels) if self.labels is not None else None
+        out._txn_of = list(self._txn_of) if self._txn_of is not None else None
         return out
+
+    # -- decomposition ----------------------------------------------------------
+
+    def weakly_connected_components(self) -> List[List[int]]:
+        """Weakly-connected components over known edges *and* every
+        constraint branch edge, as sorted vertex lists ordered by their
+        smallest member.
+
+        The init vertex is excluded from the union step (and from the
+        output): it has no incoming edges, so it can never lie on a
+        cycle, and treating its outgoing edges as connecting would merge
+        otherwise-independent components into one.  Transactions on
+        disjoint key/session footprints therefore land in different
+        components, and no undesired cycle can span two components —
+        every edge the cycle could use is intra-component by
+        construction.  This is what makes per-component checking exact
+        (see DESIGN.md, shard soundness).
+        """
+        parent = list(range(self.num_vertices))
+
+        def find(v: int) -> int:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        def union(a: int, b: int) -> None:
+            if a == self.init_vertex or b == self.init_vertex:
+                return
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+        for u, v, _label, _key in self.known_edges:
+            union(u, v)
+        for cons in self.constraints:
+            # Unioning the writer pair covers every branch edge: a branch
+            # RW edge runs reader -> other-writer, and the reader is
+            # already connected to its writer by a known WR edge.
+            if cons.pair is not None:
+                union(cons.pair[0], cons.pair[1])
+            else:
+                for u, v, _label, _key in list(cons.either) + list(cons.orelse):
+                    union(u, v)
+
+        groups: Dict[int, List[int]] = {}
+        for v in range(self.num_vertices):
+            if v == self.init_vertex:
+                continue
+            groups.setdefault(find(v), []).append(v)
+        return [groups[root] for root in sorted(groups)]
+
+    def constrained_components(
+        self,
+    ) -> Tuple[List[List[int]], List[List[Constraint]]]:
+        """The component decomposition paired with each component's
+        constraints: ``(components, constraints_of)`` where
+        ``constraints_of[i]`` lists the constraints whose edges live in
+        ``components[i]`` (empty for pure known-graph components).
+
+        The single source of the pure-vs-constrained classification used
+        by both the serial fast path (:meth:`PolySIChecker.check_polygraph
+        <repro.core.checker.PolySIChecker.check_polygraph>`) and the shard
+        planner, so the two can never drift.
+        """
+        components = self.weakly_connected_components()
+        comp_of: Dict[int, int] = {}
+        for ci, comp in enumerate(components):
+            for v in comp:
+                comp_of[v] = ci
+        constraints_of: List[List[Constraint]] = [[] for _ in components]
+        for cons in self.constraints:
+            constraints_of[comp_of[cons.either[0][0]]].append(cons)
+        return components, constraints_of
+
+    def subgraph(
+        self, vertices: Sequence[int]
+    ) -> Tuple["GeneralizedPolygraph", List[int]]:
+        """The induced sub-polygraph over ``vertices``, densely renumbered.
+
+        Returns ``(sub, old_of_new)`` where ``old_of_new[new_id]`` is the
+        vertex id in ``self``.  ``vertices`` must be closed under the
+        graph's edges (e.g. a :meth:`weakly_connected_components` member
+        or a union of members); edges from the init vertex into the
+        selection are kept by materializing a local init copy, so the
+        fragment is checkable on its own.  Display names survive the
+        renumbering via :attr:`labels`.
+        """
+        order = sorted(vertices)
+        remap = {old: new for new, old in enumerate(order)}
+        needs_init = self.init_vertex is not None and any(
+            u == self.init_vertex and v in remap
+            for u, v, _label, _key in self.known_edges
+        )
+        init_new = len(order) if needs_init else None
+        if needs_init:
+            remap[self.init_vertex] = init_new
+        sub = GeneralizedPolygraph(
+            self.history, len(order) + (1 if needs_init else 0), init_new
+        )
+        sub.labels = [self.vertex_name(old) for old in order]
+        sub._txn_of = [self.vertex_txn(old) for old in order]
+        if needs_init:
+            sub.labels.append("T:init")
+            sub._txn_of.append(None)
+        for u, v, label, key in self.known_edges:
+            if v in remap and u in remap:
+                sub.add_known((remap[u], remap[v], label, key))
+        for cons in self.constraints:
+            if cons.either[0][0] not in remap:
+                continue
+            sub.constraints.append(Constraint(
+                [(remap[u], remap[v], label, key)
+                 for u, v, label, key in cons.either],
+                [(remap[u], remap[v], label, key)
+                 for u, v, label, key in cons.orelse],
+                key=cons.key,
+                pair=(remap[cons.pair[0]], remap[cons.pair[1]])
+                if cons.pair is not None else None,
+            ))
+        for (writer, key), readers in self.readers_from.items():
+            if writer in remap:
+                kept = [remap[r] for r in readers if r in remap]
+                if kept:
+                    sub.readers_from[(remap[writer], key)] = kept
+        old_of_new = list(order)
+        if needs_init:
+            old_of_new.append(self.init_vertex)
+        return sub, old_of_new
 
     def __repr__(self) -> str:
         return (

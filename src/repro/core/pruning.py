@@ -32,6 +32,9 @@ from .polygraph import Constraint, Edge, GeneralizedPolygraph, RW, WW, DEP_LABEL
 __all__ = [
     "PruneResult",
     "branch_impossible",
+    "classify_constraints",
+    "apply_decisions",
+    "prune_iteration_state",
     "prune_constraints",
     "find_known_cycle",
 ]
@@ -134,6 +137,78 @@ def branch_impossible(
     return False
 
 
+def prune_iteration_state(
+    graph: GeneralizedPolygraph,
+    *,
+    closure: Callable[[int, List[set]], Reachability] = transitive_closure_bits,
+) -> Tuple[Reachability, List[List[int]]]:
+    """The read-only state one pruning iteration classifies against:
+    reachability of the known induced graph plus the immediate
+    Dep-predecessor lists.  Computed once per iteration and never
+    mutated during it, which is what makes classification shardable."""
+    dep, antidep = _known_adjacency(graph)
+    ki = _induced_adjacency(dep, antidep)
+    reach = closure(graph.num_vertices, ki)
+    return reach, _dep_predecessors(dep)
+
+
+def classify_constraints(
+    constraints: List[Constraint],
+    reach: Reachability,
+    dep_preds: List[List[int]],
+) -> List[Tuple[bool, bool]]:
+    """Per-constraint ``(either_impossible, orelse_impossible)`` decisions
+    against one iteration's read-only state.
+
+    This is the shardable pruning entry point: classification reads only
+    ``reach`` and ``dep_preds`` (both frozen at iteration start), never
+    the graph, so any slice of the constraint list can be classified by
+    any worker and the concatenated decisions are identical to a serial
+    pass (see :mod:`repro.parallel.partition`).
+    """
+    return [
+        (branch_impossible(cons.either, reach, dep_preds),
+         branch_impossible(cons.orelse, reach, dep_preds))
+        for cons in constraints
+    ]
+
+
+def apply_decisions(
+    graph: GeneralizedPolygraph,
+    decisions: List[Tuple[bool, bool]],
+    result: PruneResult,
+) -> bool:
+    """Apply one iteration's classification to ``graph`` in constraint
+    order; returns whether anything was resolved.
+
+    On the first constraint with both branches impossible, ``result`` is
+    marked violating (with a reconstructed witness cycle) and the
+    remaining decisions are not applied — exactly the serial behaviour,
+    so serial and sharded pruning produce identical graphs, counters,
+    and witnesses.
+    """
+    remaining: List[Constraint] = []
+    changed = False
+    for cons, (either_bad, orelse_bad) in zip(graph.constraints, decisions):
+        if either_bad and orelse_bad:
+            result.ok = False
+            result.violation_constraint = cons
+            result.violation_cycle = _violation_cycle(graph, cons)
+            return changed
+        if either_bad:
+            graph.add_known_many(cons.orelse)
+            result.pruned += 1
+            changed = True
+        elif orelse_bad:
+            graph.add_known_many(cons.either)
+            result.pruned += 1
+            changed = True
+        else:
+            remaining.append(cons)
+    graph.constraints = remaining
+    return changed
+
+
 def prune_constraints(
     graph: GeneralizedPolygraph,
     *,
@@ -153,35 +228,10 @@ def prune_constraints(
 
     while True:
         result.iterations += 1
-        dep, antidep = _known_adjacency(graph)
-        ki = _induced_adjacency(dep, antidep)
-        reach = closure(graph.num_vertices, ki)
-        dep_preds = _dep_predecessors(dep)
-
-        remaining: List[Constraint] = []
-        changed = False
-        for cons in graph.constraints:
-            either_bad = branch_impossible(cons.either, reach, dep_preds)
-            orelse_bad = branch_impossible(cons.orelse, reach, dep_preds)
-            if either_bad and orelse_bad:
-                result.ok = False
-                result.violation_constraint = cons
-                result.violation_cycle = _violation_cycle(graph, cons)
-                result.constraints_after = graph.num_constraints
-                result.unknown_deps_after = graph.num_unknown_deps
-                return result
-            if either_bad:
-                graph.add_known_many(cons.orelse)
-                result.pruned += 1
-                changed = True
-            elif orelse_bad:
-                graph.add_known_many(cons.either)
-                result.pruned += 1
-                changed = True
-            else:
-                remaining.append(cons)
-        graph.constraints = remaining
-        if not changed:
+        reach, dep_preds = prune_iteration_state(graph, closure=closure)
+        decisions = classify_constraints(graph.constraints, reach, dep_preds)
+        changed = apply_decisions(graph, decisions, result)
+        if not result.ok or not changed:
             break
 
     result.constraints_after = graph.num_constraints

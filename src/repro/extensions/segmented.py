@@ -214,13 +214,35 @@ def _segment_history(segment: Segment) -> Optional[History]:
     return builder.build()
 
 
-def check_segmented(run: SegmentedRun, **checker_options) -> SegmentedCheckResult:
+def check_segmented(
+    run: SegmentedRun,
+    *,
+    workers: int = 1,
+    oversubscribe: bool = False,
+    **checker_options,
+) -> SegmentedCheckResult:
     """Check every segment of ``run`` independently.
 
     Stops at the first violating segment (its CheckResult carries the
     evidence); a fully clean run reports per-segment results for all
     segments.
+
+    ``workers > 1`` checks the segments concurrently through the
+    parallel engine's process pool (segments are the engine's segment
+    shards); the verdict and failing-segment index match the serial
+    scan, per-segment result objects are history-free distillates.
+    ``checker_options`` are per-segment pipeline knobs (``prune``,
+    ``compact``, ``closure``, ``check_axioms_first``) and are accepted
+    identically at every worker count; ``oversubscribe`` (pool sizing,
+    see :class:`repro.parallel.ParallelChecker`) only applies when
+    pooled.
     """
+    if workers > 1:
+        from ..parallel import ParallelChecker
+
+        with ParallelChecker(workers, oversubscribe=oversubscribe,
+                             **checker_options) as checker:
+            return checker.check_segments(run)
     result = SegmentedCheckResult()
     start = time.perf_counter()
     for segment in run.segments:

@@ -1,0 +1,45 @@
+"""Parallel sharded checking (an extension beyond the paper).
+
+The PolySI pipeline is a chain — axioms, construct, prune, encode,
+solve — but the *problem* decomposes: transactions on disjoint
+key/session footprints can never share an undesired cycle, segment
+barriers make inter-snapshot slices independently checkable, and one
+pruning iteration's classification work splits freely across a shared
+read-only closure.  This package exploits all three across processes:
+
+- :class:`ShardPlanner` — chooses the decomposition and builds
+  picklable shard payloads;
+- :class:`ParallelChecker` — drives a process pool with early cancel
+  and merges per-shard results deterministically;
+- :func:`merge_results` — the fold from shard verdicts to one
+  :class:`repro.core.checker.CheckResult`;
+- :mod:`repro.parallel.partition` — shared-closure constraint
+  partitioning for graphs that do not decompose.
+
+Quickstart::
+
+    from repro import ParallelChecker
+
+    with ParallelChecker(workers=4) as checker:
+        result = checker.check(history)   # verdict == PolySIChecker's
+"""
+
+from .checker import (
+    ParallelChecker,
+    ShardResult,
+    check_snapshot_isolation_parallel,
+    merge_results,
+)
+from .partition import prune_constraints_parallel
+from .planner import Shard, ShardPlan, ShardPlanner
+
+__all__ = [
+    "ParallelChecker",
+    "Shard",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardResult",
+    "check_snapshot_isolation_parallel",
+    "merge_results",
+    "prune_constraints_parallel",
+]

@@ -141,10 +141,37 @@ class TestCheckerOptions:
 
     def test_timings_present(self):
         res = verdict(serializable_history())
+        assert {"axioms", "construct", "prune", "decompose"} <= set(
+            res.timings
+        )
+        # Pruning resolves every constraint here, so the fast path skips
+        # encode+solve entirely and decides statically.
+        assert res.decided_by == "static"
+        assert "solve" not in res.timings
+        assert res.total_time >= 0
+
+    def test_timings_include_solve_when_constraints_survive(self):
+        # Two blind writers of one key: pruning cannot order them, so the
+        # constraint reaches the solver.
+        res = verdict(build([W("x", 1)], [W("x", 2)]))
+        assert res.satisfies_si
+        assert res.decided_by == "solving"
         assert {"axioms", "construct", "prune", "encode", "solve"} <= set(
             res.timings
         )
-        assert res.total_time >= 0
+
+    def test_fast_path_reports_skip_count(self):
+        # Two disjoint-key serializable islands: every component is
+        # constraint-free after pruning, so the solver never runs.
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1)])
+        b.txn(1, [R("x", 1), W("x", 2)])
+        b.txn(2, [W("y", 1)])
+        b.txn(3, [R("y", 1), W("y", 2)])
+        res = verdict(b.build())
+        assert res.satisfies_si
+        assert res.stats["components"] == 2
+        assert res.stats["solver_skipped_components"] == 2
 
     def test_describe_valid(self):
         assert "satisfies" in verdict(serializable_history()).describe()

@@ -74,6 +74,64 @@ class TestGenerate:
         assert found
 
 
+class TestParallelFlags:
+    def test_check_parallel_valid_history(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        dump_history(serializable_history(), str(path))
+        assert main(["check", str(path), "--parallel", "2"]) == 0
+        assert "satisfies" in capsys.readouterr().out
+
+    def test_check_parallel_violation(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        dump_history(long_fork_history(), str(path))
+        assert main(["check", str(path), "--parallel", "2", "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "violates" in out
+        assert "anomaly class: long fork" in out
+
+    @pytest.mark.parametrize("value", ["0", "-3", "nope"])
+    def test_check_parallel_rejects_bad_values(self, tmp_path, capsys, value):
+        path = tmp_path / "h.json"
+        dump_history(serializable_history(), str(path))
+        with pytest.raises(SystemExit):
+            main(["check", str(path), "--parallel", value])
+        err = capsys.readouterr().err
+        assert "--parallel" in err
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_audit_parallel_rejects_bad_values(self, capsys, value):
+        with pytest.raises(SystemExit):
+            main(["audit", "--profile", "mariadb-galera-sim",
+                  "--parallel", value])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_check_parallel_stream_conflict(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        dump_history(serializable_history(), str(path))
+        assert main(["check", str(path), "--stream", "--parallel", "2"]) == 2
+        assert "batch pipeline" in capsys.readouterr().err
+
+    def test_audit_parallel_finds_violation(self, capsys):
+        code = main([
+            "audit", "--profile", "mariadb-galera-sim", "--runs", "15",
+            "--sessions", "5", "--txns", "8", "--keys", "5",
+            "--parallel", "2",
+        ])
+        assert code == 1
+        assert "violation found" in capsys.readouterr().out
+
+    def test_audit_parallel_reports_same_seed_as_serial(self, capsys):
+        args = ["audit", "--profile", "mariadb-galera-sim", "--runs", "15",
+                "--sessions", "5", "--txns", "8", "--keys", "5"]
+        main(args)
+        serial_out = capsys.readouterr().out
+        main(args + ["--parallel", "3"])
+        parallel_out = capsys.readouterr().out
+        serial_line = [l for l in serial_out.splitlines() if "run(s)" in l]
+        parallel_line = [l for l in parallel_out.splitlines() if "run(s)" in l]
+        assert serial_line == parallel_line
+
+
 class TestAuditAndCorpus:
     def test_audit_finds_violation(self, capsys):
         code = main([

@@ -20,6 +20,7 @@ CASES = {
     "list_append_elle.py": ["violation (correct!)"],
     "compare_checkers.py": ["sessions"],
     "online_monitoring.py": ["ms/txn amortized", "violation detected"],
+    "parallel_checking.py": ["verdicts agree", "anomaly class"],
 }
 
 
