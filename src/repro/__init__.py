@@ -29,6 +29,15 @@ from .core import (
     W,
     check_snapshot_isolation,
 )
+from .collect import (
+    CollectionRun,
+    CollectOptions,
+    Collector,
+    DBAPIAdapter,
+    FaultyAdapter,
+    SQLiteAdapter,
+    collect_history,
+)
 from .online import OnlineChecker, OnlineResult, WindowPolicy
 from .parallel import ParallelChecker, check_snapshot_isolation_parallel
 
@@ -39,6 +48,13 @@ __all__ = [
     "COMMITTED",
     "INITIAL_VALUE",
     "CheckResult",
+    "CollectionRun",
+    "CollectOptions",
+    "Collector",
+    "DBAPIAdapter",
+    "FaultyAdapter",
+    "SQLiteAdapter",
+    "collect_history",
     "History",
     "HistoryBuilder",
     "Operation",

@@ -8,6 +8,9 @@ Commands:
   the batch pipeline.
 - ``watch``             — run a workload against a (possibly faulty)
   store and check the transaction stream *online*, as it commits.
+- ``collect``           — run a workload against a **live database**
+  (SQLite, or anything DB-API 2.0) over concurrent sessions, record
+  the observed history, and optionally check it in the same shot.
 - ``generate``          — generate a workload, run it on the bundled
   store, and write the recorded history.
 - ``audit``             — repeatedly run workloads against a (faulty)
@@ -23,6 +26,15 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .collect import (
+    ADAPTERS,
+    INJECTION_PROFILES,
+    AdapterError,
+    CollectOptions,
+    Collector,
+    FaultyAdapter,
+    make_adapter,
+)
 from .core.checker import PolySIChecker
 from .histories.codec import dump_history, load_history
 from .interpret import interpret_violation
@@ -75,6 +87,37 @@ def _params(args) -> WorkloadParams:
     )
 
 
+def _explain_violation(result, dot_path: Optional[str]):
+    """Shared violation reporting: classify, print, optionally write DOT.
+
+    Returns the interpretation, or ``None`` when the violation carries
+    no interpretable evidence (axiom failures without a cycle).
+    """
+    if not (result.cycle or result.anomalies):
+        return None
+    example = interpret_violation(result)
+    print(f"anomaly class: {example.classification}")
+    if dot_path:
+        with open(dot_path, "w", encoding="utf-8") as handle:
+            handle.write(example.to_dot())
+        print(f"counterexample DOT written to {dot_path}")
+    return example
+
+
+def _check_history(history, parallel: Optional[int], *, prune: bool = True):
+    """Check ``history`` serially or with the sharded engine, printing
+    the shard summary line in the parallel case."""
+    if parallel:
+        with ParallelChecker(parallel, prune=prune) as checker:
+            result = checker.check(history)
+        print(f"checked with {parallel} worker(s): "
+              f"{result.stats.get('strategy', 'trivial')} strategy, "
+              f"{result.stats.get('components', 0)} component(s), "
+              f"{result.stats.get('shards', 0)} shard(s)")
+        return result
+    return PolySIChecker(prune=prune).check(history)
+
+
 def cmd_check(args) -> int:
     """``repro check``: verdict + timings; optional interpretation."""
     history = load_history(args.history, fmt=args.format)
@@ -95,30 +138,16 @@ def cmd_check(args) -> int:
             f"{k}={v:.3f}" for k, v in result.timings.items()
         ))
         return 0 if result.satisfies_si else 1
-    if args.parallel:
-        with ParallelChecker(args.parallel,
-                             prune=not args.no_prune) as checker:
-            result = checker.check(history)
-        print(f"checked with {args.parallel} worker(s): "
-              f"{result.stats.get('strategy', 'trivial')} strategy, "
-              f"{result.stats.get('components', 0)} component(s), "
-              f"{result.stats.get('shards', 0)} shard(s)")
-    else:
-        checker = PolySIChecker(prune=not args.no_prune)
-        result = checker.check(history)
+    result = _check_history(history, args.parallel,
+                            prune=not args.no_prune)
     print(result.describe())
     print(f"stages (s): " + ", ".join(
         f"{k}={v:.3f}" for k, v in result.timings.items()
     ))
     if result.satisfies_si:
         return 0
-    if args.explain and (result.cycle or result.anomalies):
-        example = interpret_violation(result)
-        print(f"\nanomaly class: {example.classification}")
-        if args.dot:
-            with open(args.dot, "w", encoding="utf-8") as handle:
-                handle.write(example.to_dot())
-            print(f"counterexample DOT written to {args.dot}")
+    if args.explain:
+        _explain_violation(result, args.dot)
     return 1
 
 
@@ -163,6 +192,57 @@ def cmd_watch(args) -> int:
         "ms/txn amortized)"
     )
     return 0 if result.satisfies_si else 1
+
+
+def _collect_adapter(args):
+    """Build the (possibly fault-wrapped) adapter the flags describe."""
+    if args.adapter == "sqlite":
+        kwargs = {"path": args.db}
+        if args.table:
+            kwargs["table"] = args.table
+    else:
+        if not args.driver:
+            raise ValueError("--adapter dbapi requires --driver")
+        if not args.dsn:
+            raise ValueError("--adapter dbapi requires --dsn")
+        kwargs = {"driver": args.driver, "dsn": args.dsn,
+                  "begin_sql": args.begin_sql}
+        if args.table:
+            kwargs["table"] = args.table
+    adapter = make_adapter(args.adapter, **kwargs)
+    if args.inject:
+        adapter = FaultyAdapter(adapter, profile=args.inject, seed=args.seed)
+    return adapter
+
+
+def cmd_collect(args) -> int:
+    """``repro collect``: workload -> live database -> recorded history,
+    with an optional same-shot verdict (``--check`` / ``--parallel N``)."""
+    spec = generate_workload(_params(args), seed=args.seed)
+    adapter = _collect_adapter(args)
+    options = CollectOptions(retries=args.retries,
+                             record_aborted=not args.drop_aborted)
+    try:
+        run = Collector(adapter, options=options).run(spec)
+    finally:
+        adapter.close()
+    print(
+        f"collected {len(run.history)} txns from {run.adapter}: "
+        f"{run.committed} committed, {run.aborted} aborted, "
+        f"{run.retried} retried attempt(s) dropped "
+        f"({run.throughput:.0f} txn/s)"
+    )
+    if args.out:
+        dump_history(run.history, args.out, fmt=args.format)
+        print(f"wrote {args.out}")
+    if not args.check and not args.parallel:
+        return 0
+    result = _check_history(run.history, args.parallel)
+    print(result.describe())
+    if result.satisfies_si:
+        return 0
+    _explain_violation(result, args.dot)
+    return 1
 
 
 def cmd_generate(args) -> int:
@@ -241,14 +321,10 @@ def cmd_audit(args) -> int:
     if hit is None:
         print(f"no violation in {args.runs} runs")
         return 0
-    example = interpret_violation(result)
     print(f"violation found after {hit + 1} run(s)")
-    print(f"anomaly class: {example.classification}")
-    print(example.describe())
-    if args.dot:
-        with open(args.dot, "w", encoding="utf-8") as handle:
-            handle.write(example.to_dot())
-        print(f"counterexample DOT written to {args.dot}")
+    example = _explain_violation(result, args.dot)
+    if example is not None:
+        print(example.describe())
     return 1
 
 
@@ -316,6 +392,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a status line every N transactions (0: off)")
     p.set_defaults(func=cmd_watch)
 
+    p = sub.add_parser(
+        "collect",
+        help="run a workload against a live database and record the history",
+    )
+    _add_workload_args(p)
+    p.add_argument("--adapter", default="sqlite", choices=sorted(ADAPTERS),
+                   help="database backend (default: sqlite)")
+    p.add_argument("--db", help="sqlite: database file (default: a temp file)")
+    p.add_argument("--driver",
+                   help="dbapi: DB-API 2.0 module name (e.g. psycopg2)")
+    p.add_argument("--dsn",
+                   help="dbapi: connection string passed to driver.connect")
+    p.add_argument("--table", help="key-value table name override")
+    p.add_argument("--begin-sql",
+                   help="dbapi: statement run at transaction begin "
+                        "(e.g. SET TRANSACTION ISOLATION LEVEL "
+                        "REPEATABLE READ)")
+    p.add_argument("--inject", choices=sorted(INJECTION_PROFILES),
+                   help="wrap the backend with this anomaly-injection "
+                        "profile")
+    p.add_argument("--retries", type=int, default=2,
+                   help="re-attempts per aborted transaction")
+    p.add_argument("--drop-aborted", action="store_true",
+                   help="drop terminally aborted txns from the history")
+    p.add_argument("-o", "--out", help="write the collected history here")
+    p.add_argument("--format", default="json", choices=["json", "text"])
+    p.add_argument("--check", action="store_true",
+                   help="check the collected history in the same shot")
+    p.add_argument("--parallel", type=_positive_int, metavar="N",
+                   help="check with N worker processes (implies --check)")
+    p.add_argument("--dot", help="write the counterexample DOT here")
+    p.set_defaults(func=cmd_collect)
+
     p = sub.add_parser("generate", help="generate and record a workload")
     _add_workload_args(p)
     p.add_argument("--isolation", default="snapshot",
@@ -353,7 +462,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, AdapterError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,166 @@
+"""The ``Adapter`` contract: what the collector needs from a database.
+
+The collection harness (:mod:`repro.collect.runner`) is black-box by
+construction — it drives a live database exclusively through this
+five-verb interface (begin / read / write / commit / abort) and records
+what the database *answers*, never what it does internally.  Anything
+that can speak these verbs can be checked: the bundled
+:class:`~repro.collect.sqlite.SQLiteAdapter`, any DB-API 2.0 driver via
+:class:`~repro.collect.dbapi.DBAPIAdapter`, or an anomaly-injecting
+wrapper (:class:`~repro.collect.faulty.FaultyAdapter`) around either.
+
+Contract (see DESIGN.md S8 for the soundness discussion):
+
+- :meth:`Adapter.session` returns one :class:`AdapterSession` per client
+  session; the collector calls it once per session *thread*, so a
+  session object is only ever used from a single thread and adapters
+  should back it with a dedicated connection.
+- ``read`` returns the committed value the database serves, or
+  :data:`~repro.core.history.INITIAL_VALUE` when the key has never been
+  written — the collector records exactly this value.
+- ``commit`` returns ``True`` on durable commit and ``False`` when the
+  database rejects the transaction (serialization failure, write-write
+  conflict).  Mid-transaction rejections raise
+  :class:`TransactionAborted` instead; both paths mean the transaction
+  installed nothing.
+- After ``commit`` returns ``False`` or any verb raises
+  :class:`TransactionAborted`, the session must be reusable for the next
+  ``begin`` (the adapter rolls back internally).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+__all__ = [
+    "AdapterError",
+    "AdapterUnavailable",
+    "TransactionAborted",
+    "AdapterSession",
+    "Adapter",
+    "make_adapter",
+    "ADAPTERS",
+]
+
+
+class AdapterError(RuntimeError):
+    """Base class for adapter failures."""
+
+
+class AdapterUnavailable(AdapterError):
+    """The adapter's backing driver is not importable in this environment."""
+
+
+class TransactionAborted(AdapterError):
+    """The database aborted the in-flight transaction mid-way.
+
+    Raised by ``read``/``write``/``commit`` when the backend rejects an
+    operation for transactional reasons (lock conflict, serialization
+    failure).  The collector responds by rolling back and either
+    retrying the transaction or recording it as aborted — never by
+    keeping the partial observations as committed.
+    """
+
+
+class AdapterSession:
+    """One client session: a single-threaded connection speaking the
+    five transactional verbs.
+
+    Subclasses implement the verbs against a real connection.  The base
+    class exists to document the contract; every method raises
+    ``NotImplementedError``.
+    """
+
+    def begin(self) -> None:
+        """Start a new transaction on this session."""
+        raise NotImplementedError
+
+    def read(self, key: Hashable):
+        """Return the value the database serves for ``key`` (or
+        :data:`~repro.core.history.INITIAL_VALUE` if unwritten)."""
+        raise NotImplementedError
+
+    def write(self, key: Hashable, value) -> None:
+        """Install ``value`` at ``key`` within the current transaction."""
+        raise NotImplementedError
+
+    def commit(self) -> bool:
+        """Try to commit; ``True`` on success, ``False`` on rejection."""
+        raise NotImplementedError
+
+    def abort(self) -> None:
+        """Roll back the current transaction (idempotent)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the session's connection."""
+        raise NotImplementedError
+
+
+class Adapter:
+    """A database the collector can drive: a session factory plus schema
+    lifecycle hooks.
+
+    ``setup`` / ``teardown`` bracket one collection run; ``session``
+    hands out per-thread sessions in between.  ``close`` releases
+    adapter-level resources (temporary files, shared connections).
+    """
+
+    #: Human-readable adapter name, reported in collection stats.
+    name = "abstract"
+
+    def setup(self) -> None:
+        """Create the key-value schema (idempotent)."""
+        raise NotImplementedError
+
+    def session(self, session_id: int) -> AdapterSession:
+        """Return a fresh session for client ``session_id``."""
+        raise NotImplementedError
+
+    def teardown(self) -> None:
+        """Empty the store's *data* while keeping the schema usable.
+
+        The collector calls ``setup()`` then ``teardown()`` at the start
+        of every run so each run observes a fresh store; sessions are
+        opened afterwards, so implementations must delete rows, not drop
+        the table.
+        """
+
+    def close(self) -> None:
+        """Release adapter-level resources (best effort)."""
+
+
+def make_adapter(kind: str, **kwargs) -> Adapter:
+    """Instantiate a registered adapter by name (the CLI entry point).
+
+    ``kwargs`` are forwarded to the adapter constructor; unknown names
+    raise ``ValueError`` listing the registry.
+    """
+    try:
+        factory = ADAPTERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown adapter {kind!r}; available: {', '.join(sorted(ADAPTERS))}"
+        )
+    return factory(**kwargs)
+
+
+def _make_sqlite(**kwargs) -> Adapter:
+    from .sqlite import SQLiteAdapter
+
+    return SQLiteAdapter(**kwargs)
+
+
+def _make_dbapi(**kwargs) -> Adapter:
+    from .dbapi import DBAPIAdapter
+
+    return DBAPIAdapter(**kwargs)
+
+
+#: Adapter registry: name -> factory.  The faulty wrapper is not listed
+#: here because it decorates another adapter rather than standing alone;
+#: see :class:`repro.collect.faulty.FaultyAdapter`.
+ADAPTERS = {
+    "sqlite": _make_sqlite,
+    "dbapi": _make_dbapi,
+}

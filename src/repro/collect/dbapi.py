@@ -1,0 +1,216 @@
+"""Generic DB-API 2.0 adapter: point the collector at PostgreSQL/MySQL.
+
+The driver module is named at construction time and imported lazily, so
+the package carries **no hard dependency** on any database client — in
+an environment without ``psycopg2``/``pymysql`` the adapter raises
+:class:`~repro.collect.adapter.AdapterUnavailable` with an actionable
+message instead of breaking the import graph.  Because ``sqlite3`` is
+itself a DB-API 2.0 module, the generic code path is fully exercised in
+CI with ``DBAPIAdapter(driver="sqlite3", dsn=path)``.
+
+Dialect portability choices:
+
+- the upsert is ``DELETE`` + ``INSERT`` inside the transaction (no
+  dialect-specific ``ON CONFLICT`` / ``ON DUPLICATE KEY``);
+- columns are named ``k`` / ``v`` (``key`` is reserved in MySQL);
+- placeholders follow the driver's declared ``paramstyle``;
+- an optional ``begin_sql`` runs at transaction start, e.g.
+  ``SET TRANSACTION ISOLATION LEVEL REPEATABLE READ`` to pin PostgreSQL
+  to its SI implementation.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Hashable, Optional
+
+from ..core.history import INITIAL_VALUE
+from .adapter import Adapter, AdapterSession, AdapterUnavailable, TransactionAborted
+
+__all__ = ["DBAPIAdapter", "DBAPISession"]
+
+#: Positional placeholders per DB-API ``paramstyle`` (first and second
+#: parameter).  ``pyformat`` drivers (psycopg2, pymysql) accept
+#: positional ``%s`` sequences.
+_PLACEHOLDERS = {
+    "qmark": ("?", "?"),
+    "format": ("%s", "%s"),
+    "pyformat": ("%s", "%s"),
+    "numeric": (":1", ":2"),
+}
+
+#: Per-driver deviations from clean DB-API transactional behaviour.
+#: The stdlib ``sqlite3`` module's legacy transaction mode runs SELECTs
+#: in autocommit — reads inside one "transaction" are then *not* served
+#: from one snapshot, and the checker duly reports the resulting read
+#: skew (a genuine finding, see DESIGN.md S8).  The quirk switches the
+#: module's implicit handling off and issues explicit ``BEGIN``.
+#: Caller-supplied ``connect_kwargs`` / ``begin_sql`` override quirks.
+_DRIVER_QUIRKS = {
+    "sqlite3": {
+        "connect_kwargs": {"isolation_level": None,
+                           "check_same_thread": False},
+        "begin_sql": "BEGIN",
+    },
+}
+
+
+class DBAPISession(AdapterSession):
+    """One DB-API connection driven by one collector thread."""
+
+    def __init__(self, conn, error_cls, table: str, placeholders: tuple,
+                 begin_sql: Optional[str]):
+        self._conn = conn
+        self._error_cls = error_cls
+        self._table = table
+        self._ph, self._ph2 = placeholders
+        self._begin_sql = begin_sql
+
+    def begin(self) -> None:
+        """Start a transaction (DB-API transactions are implicit; this
+        runs the optional ``begin_sql``, e.g. an isolation pin)."""
+        if self._begin_sql:
+            cur = self._conn.cursor()
+            try:
+                cur.execute(self._begin_sql)
+            except self._error_cls as exc:
+                raise TransactionAborted(str(exc))
+            finally:
+                cur.close()
+
+    def read(self, key: Hashable):
+        """Serve ``key`` through the driver; ``INITIAL_VALUE`` if absent."""
+        cur = self._conn.cursor()
+        try:
+            cur.execute(
+                f"SELECT v FROM {self._table} WHERE k = {self._ph}",
+                (str(key),),
+            )
+            row = cur.fetchone()
+        except self._error_cls as exc:
+            raise TransactionAborted(str(exc))
+        finally:
+            cur.close()
+        return INITIAL_VALUE if row is None else row[0]
+
+    def write(self, key: Hashable, value) -> None:
+        """Portable upsert: delete-then-insert within the transaction."""
+        cur = self._conn.cursor()
+        try:
+            cur.execute(
+                f"DELETE FROM {self._table} WHERE k = {self._ph}",
+                (str(key),),
+            )
+            cur.execute(
+                f"INSERT INTO {self._table} (k, v) "
+                f"VALUES ({self._ph}, {self._ph2})",
+                (str(key), value),
+            )
+        except self._error_cls as exc:
+            raise TransactionAborted(str(exc))
+        finally:
+            cur.close()
+
+    def commit(self) -> bool:
+        """Driver-level commit; rejections roll back and return False."""
+        try:
+            self._conn.commit()
+        except self._error_cls:
+            self.abort()
+            return False
+        return True
+
+    def abort(self) -> None:
+        """Driver-level rollback (errors swallowed; session stays usable)."""
+        try:
+            self._conn.rollback()
+        except self._error_cls:
+            pass
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+
+class DBAPIAdapter(Adapter):
+    """Drive any DB-API 2.0 driver by module name + DSN.
+
+    ``dsn`` (a string) or ``connect_kwargs`` (a dict) is forwarded to
+    ``driver.connect``; exactly the driver's own connection syntax
+    applies — ``"dbname=si user=repro"`` for psycopg2, a file path for
+    sqlite3, keyword arguments for pymysql.
+    """
+
+    name = "dbapi"
+
+    def __init__(
+        self,
+        driver: str,
+        *,
+        dsn: Optional[str] = None,
+        connect_kwargs: Optional[dict] = None,
+        table: str = "repro_kv",
+        begin_sql: Optional[str] = None,
+        value_type: str = "BIGINT",
+    ):
+        try:
+            self._module = importlib.import_module(driver)
+        except ImportError as exc:
+            raise AdapterUnavailable(
+                f"DB-API driver {driver!r} is not installed: {exc}"
+            )
+        paramstyle = getattr(self._module, "paramstyle", "qmark")
+        if paramstyle not in _PLACEHOLDERS:
+            raise AdapterUnavailable(
+                f"driver {driver!r} uses unsupported paramstyle {paramstyle!r}"
+            )
+        quirks = _DRIVER_QUIRKS.get(driver, {})
+        self.name = f"dbapi:{driver}"
+        self._driver = driver
+        self._dsn = dsn
+        self._connect_kwargs = dict(quirks.get("connect_kwargs", {}))
+        self._connect_kwargs.update(connect_kwargs or {})
+        self._table = table
+        self._begin_sql = (
+            begin_sql if begin_sql is not None else quirks.get("begin_sql")
+        )
+        self._value_type = value_type
+        self._placeholders = _PLACEHOLDERS[paramstyle]
+        self._error_cls = getattr(self._module, "Error", Exception)
+
+    def _connect(self):
+        if self._dsn is not None:
+            return self._module.connect(self._dsn, **self._connect_kwargs)
+        return self._module.connect(**self._connect_kwargs)
+
+    def setup(self) -> None:
+        """Create the ``(k, v)`` table if missing."""
+        conn = self._connect()
+        try:
+            cur = conn.cursor()
+            cur.execute(
+                f"CREATE TABLE IF NOT EXISTS {self._table} "
+                f"(k VARCHAR(255) PRIMARY KEY, v {self._value_type})"
+            )
+            cur.close()
+            conn.commit()
+        finally:
+            conn.close()
+
+    def session(self, session_id: int) -> DBAPISession:
+        """A fresh driver connection for one collector thread."""
+        return DBAPISession(
+            self._connect(), self._error_cls, self._table,
+            self._placeholders, self._begin_sql,
+        )
+
+    def teardown(self) -> None:
+        """Empty the key-value table (best effort)."""
+        conn = self._connect()
+        try:
+            cur = conn.cursor()
+            cur.execute(f"DELETE FROM {self._table}")
+            cur.close()
+            conn.commit()
+        finally:
+            conn.close()

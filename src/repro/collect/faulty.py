@@ -1,0 +1,277 @@
+"""Anomaly injection at the adapter boundary: a buggy DB out of a good one.
+
+:class:`FaultyAdapter` wraps any backend adapter and rewrites *read
+results* on the way back to the collector, using a version log of the
+writes that committed through the wrapper.  The backend still executes
+every operation — real connections, real commits, real aborts — but the
+collector observes the answers a buggy database would have given.  This
+is the live-collection analogue of :mod:`repro.storage.faults` (which
+breaks the simulated MVCC store from the inside) and exercises the
+violation path of the whole pipeline end to end: collection over real
+I/O, history encoding, checking, anomaly interpretation.
+
+Two fault mechanisms, combinable:
+
+- **stale reads** (``stale_read_prob`` / ``stale_read_depth``) — with
+  the given probability a read is served from an older committed
+  version of the key (up to ``depth`` versions back; reaching past the
+  first version serves the initial value).  On read-modify-write
+  workloads this manifests as **lost update** (two writers both read
+  the overwritten version) and, when a session is served a version
+  older than one it already observed, as a **causality violation**.
+- **split brain** (``split_brain`` / ``split_visibility_delay``) — the
+  wrapper assigns sessions to two groups; reads see the own group's
+  committed writes immediately but the other group's only once
+  ``split_visibility_delay`` further commits have happened, emulating
+  asynchronous multi-master replication.  Concurrent independent writes
+  then become visible in opposite orders to the two groups: **long
+  fork**.
+
+The injected reads stay *internally* consistent (a per-transaction read
+cache upholds the Int axiom, and buffered writes are read back), so
+every violation the checker finds is a genuine cyclic SI anomaly with a
+typed counterexample, not a malformed history.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.history import INITIAL_VALUE
+from .adapter import Adapter, AdapterSession
+
+__all__ = ["InjectionConfig", "INJECTION_PROFILES", "FaultyAdapter"]
+
+
+class InjectionConfig:
+    """Knobs for :class:`FaultyAdapter` (``storage/faults``-style)."""
+
+    __slots__ = (
+        "stale_read_prob",
+        "stale_read_depth",
+        "split_brain",
+        "split_visibility_delay",
+    )
+
+    def __init__(
+        self,
+        *,
+        stale_read_prob: float = 0.0,
+        stale_read_depth: int = 2,
+        split_brain: bool = False,
+        split_visibility_delay: int = 8,
+    ):
+        if not 0.0 <= stale_read_prob <= 1.0:
+            raise ValueError("stale_read_prob must be within [0, 1]")
+        if stale_read_depth < 1:
+            raise ValueError("stale_read_depth must be >= 1")
+        self.stale_read_prob = stale_read_prob
+        self.stale_read_depth = stale_read_depth
+        self.split_brain = split_brain
+        self.split_visibility_delay = split_visibility_delay
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in self.__slots__
+            if getattr(self, name)
+        )
+        return f"InjectionConfig({fields})"
+
+
+#: Named injection profiles, mirroring ``storage.faults.DATABASE_PROFILES``.
+#: ``expected_anomaly`` names the anomaly family the fault *plants*; the
+#: checker reports whichever witness cycle it proves first, so the
+#: classification on a given run may be a neighbouring class (e.g. a
+#: planted lost update surfacing as the causality violation that the
+#: same stale read also created).
+INJECTION_PROFILES: Dict[str, dict] = {
+    "stale-reads": {
+        "expected_anomaly": "causality violation",
+        "config": InjectionConfig(stale_read_prob=0.35, stale_read_depth=3),
+    },
+    "lost-update": {
+        "expected_anomaly": "lost update",
+        "config": InjectionConfig(stale_read_prob=0.5, stale_read_depth=1),
+    },
+    "long-fork": {
+        "expected_anomaly": "long fork",
+        "config": InjectionConfig(split_brain=True, split_visibility_delay=6),
+    },
+}
+
+
+class _VersionLog:
+    """Thread-shared log of committed final writes, per key.
+
+    Entries are ``(seq, group, value)`` in commit order; ``seq`` is a
+    global commit counter so split-brain visibility can be expressed as
+    "own group, or old enough".
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._by_key: Dict[Hashable, List[Tuple[int, int, object]]] = {}
+
+    def record_commit(self, group: int, writes: Dict[Hashable, object]) -> None:
+        """Log one committed transaction's final writes atomically."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            for key, value in writes.items():
+                self._by_key.setdefault(key, []).append((seq, group, value))
+
+    def versions(self, key: Hashable, group: Optional[int],
+                 delay: int) -> List[object]:
+        """Values of ``key`` visible to ``group``, oldest first.
+
+        With ``group=None`` every committed version is visible; otherwise
+        other-group versions only appear once ``delay`` further commits
+        have been logged.
+        """
+        with self._lock:
+            horizon = self._seq - delay
+            return [
+                value
+                for seq, grp, value in self._by_key.get(key, ())
+                if group is None or grp == group or seq <= horizon
+            ]
+
+
+class _FaultySession(AdapterSession):
+    """Wraps one backend session, rewriting its read results."""
+
+    def __init__(self, inner: AdapterSession, log: _VersionLog,
+                 group: Optional[int], config: InjectionConfig,
+                 rng: random.Random):
+        self._inner = inner
+        self._log = log
+        self._group = group
+        self._config = config
+        self._rng = rng
+        self._buffer: Dict[Hashable, object] = {}
+        self._read_cache: Dict[Hashable, object] = {}
+
+    def begin(self) -> None:
+        """Start a backend transaction and reset per-txn fault state."""
+        self._buffer = {}
+        self._read_cache = {}
+        self._inner.begin()
+
+    def read(self, key: Hashable):
+        """Read through the backend, then maybe substitute a faulty value.
+
+        Own buffered writes and already-served reads are returned as-is
+        so injected histories still satisfy the Int axiom.
+        """
+        if key in self._buffer:
+            return self._buffer[key]
+        if key in self._read_cache:
+            return self._read_cache[key]
+        value = self._inner.read(key)
+        cfg = self._config
+        if cfg.split_brain:
+            visible = self._log.versions(
+                key, self._group, cfg.split_visibility_delay
+            )
+            value = visible[-1] if visible else INITIAL_VALUE
+        if cfg.stale_read_prob and self._rng.random() < cfg.stale_read_prob:
+            visible = self._log.versions(
+                key,
+                self._group if cfg.split_brain else None,
+                cfg.split_visibility_delay if cfg.split_brain else 0,
+            )
+            back = self._rng.randint(1, cfg.stale_read_depth)
+            index = len(visible) - 1 - back
+            if visible:
+                value = INITIAL_VALUE if index < 0 else visible[index]
+        self._read_cache[key] = value
+        return value
+
+    def write(self, key: Hashable, value) -> None:
+        """Forward the write and remember it for read-your-writes."""
+        self._inner.write(key, value)
+        self._buffer[key] = value
+        self._read_cache[key] = value
+
+    def commit(self) -> bool:
+        """Commit on the backend; log final writes only on success."""
+        ok = self._inner.commit()
+        if ok and self._buffer:
+            self._log.record_commit(self._group or 0, self._buffer)
+        self._buffer = {}
+        self._read_cache = {}
+        return ok
+
+    def abort(self) -> None:
+        """Roll back the backend transaction and drop fault state."""
+        self._buffer = {}
+        self._read_cache = {}
+        self._inner.abort()
+
+    def close(self) -> None:
+        """Close the wrapped backend session."""
+        self._inner.close()
+
+
+class FaultyAdapter(Adapter):
+    """Delegate to any backend adapter while injecting SI anomalies.
+
+    ``profile`` selects a named :data:`INJECTION_PROFILES` entry;
+    ``config`` passes explicit knobs instead.  ``seed`` drives the
+    injection RNG (one independent stream per session, so thread
+    scheduling does not perturb which reads get rewritten).
+    """
+
+    def __init__(
+        self,
+        inner: Adapter,
+        *,
+        profile: Optional[str] = None,
+        config: Optional[InjectionConfig] = None,
+        seed: int = 0,
+    ):
+        if (profile is None) == (config is None):
+            raise ValueError("pass exactly one of profile= or config=")
+        if profile is not None:
+            try:
+                config = INJECTION_PROFILES[profile]["config"]
+            except KeyError:
+                raise ValueError(
+                    f"unknown injection profile {profile!r}; available: "
+                    f"{', '.join(sorted(INJECTION_PROFILES))}"
+                )
+        self._inner = inner
+        self.profile = profile
+        self.config = config
+        self._seed = seed
+        self._log = _VersionLog()
+        self.name = f"faulty({inner.name})"
+
+    def setup(self) -> None:
+        """Set up the backend and reset the wrapper's version log."""
+        self._log = _VersionLog()
+        self._inner.setup()
+
+    def session(self, session_id: int) -> _FaultySession:
+        """Wrap a backend session; even/odd sessions form the two
+        split-brain groups."""
+        group = session_id % 2 if self.config.split_brain else None
+        return _FaultySession(
+            self._inner.session(session_id),
+            self._log,
+            group,
+            self.config,
+            random.Random(self._seed * 100003 + session_id),
+        )
+
+    def teardown(self) -> None:
+        """Tear down the backend."""
+        self._inner.teardown()
+
+    def close(self) -> None:
+        """Close the backend adapter."""
+        self._inner.close()

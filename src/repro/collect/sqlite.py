@@ -1,0 +1,156 @@
+"""SQLite adapter: a real, file-backed database runnable everywhere.
+
+SQLite in WAL mode gives each deferred transaction a stable read
+snapshot (taken at its first read) and serializes writers, so collected
+histories are serializable — hence SI-consistent — and any violation the
+checker reports against this adapter is a collection-harness bug.  That
+makes it the reference backend for CI: real connections, real
+concurrency (one connection per session thread), real aborts
+(``SQLITE_BUSY`` when a writer's snapshot went stale), zero external
+dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+from typing import Hashable, Optional
+
+from ..core.history import INITIAL_VALUE
+from .adapter import Adapter, AdapterSession, TransactionAborted
+
+__all__ = ["SQLiteAdapter", "SQLiteSession"]
+
+
+class SQLiteSession(AdapterSession):
+    """One SQLite connection driven by one collector thread."""
+
+    def __init__(self, conn: sqlite3.Connection, table: str):
+        self._conn = conn
+        self._table = table
+        self._in_txn = False
+
+    def begin(self) -> None:
+        """Open a deferred transaction (snapshot taken at first read)."""
+        self._conn.execute("BEGIN DEFERRED")
+        self._in_txn = True
+
+    def read(self, key: Hashable):
+        """Serve ``key`` from this transaction's snapshot."""
+        try:
+            row = self._conn.execute(
+                f"SELECT value FROM {self._table} WHERE key = ?", (str(key),)
+            ).fetchone()
+        except sqlite3.OperationalError as exc:
+            raise TransactionAborted(str(exc))
+        return INITIAL_VALUE if row is None else row[0]
+
+    def write(self, key: Hashable, value) -> None:
+        """Buffer a write; raises :class:`TransactionAborted` when the
+        snapshot went stale (``SQLITE_BUSY``) and the write cannot be
+        serialized."""
+        try:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO {self._table} (key, value) "
+                "VALUES (?, ?)",
+                (str(key), value),
+            )
+        except sqlite3.OperationalError as exc:
+            raise TransactionAborted(str(exc))
+
+    def commit(self) -> bool:
+        """Commit; ``False`` when SQLite rejects the transaction."""
+        try:
+            self._conn.execute("COMMIT")
+        except sqlite3.OperationalError:
+            self.abort()
+            return False
+        self._in_txn = False
+        return True
+
+    def abort(self) -> None:
+        """Roll back whatever is in flight (safe to call repeatedly)."""
+        try:
+            self._conn.execute("ROLLBACK")
+        except sqlite3.OperationalError:
+            pass
+        self._in_txn = False
+
+    def close(self) -> None:
+        """Close the connection, rolling back any leftover transaction."""
+        if self._in_txn:
+            self.abort()
+        self._conn.close()
+
+
+class SQLiteAdapter(Adapter):
+    """File-backed SQLite in WAL mode, one connection per session.
+
+    With no ``path`` the adapter creates a temporary database file and
+    removes it (plus WAL sidecars) on :meth:`close`.  ``busy_timeout``
+    bounds how long writers queue behind each other before SQLite gives
+    up and the collector sees an abort.
+    """
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        table: str = "kv",
+        busy_timeout: float = 5.0,
+    ):
+        self._owns_file = path is None
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-collect-", suffix=".db")
+            os.close(fd)
+        self.path = path
+        self._table = table
+        self._busy_timeout = busy_timeout
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self.path,
+            timeout=self._busy_timeout,
+            isolation_level=None,  # autocommit; we issue BEGIN/COMMIT ourselves
+            check_same_thread=False,
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(f"PRAGMA busy_timeout={int(self._busy_timeout * 1000)}")
+        return conn
+
+    def setup(self) -> None:
+        """Create the key-value table and switch the file to WAL mode."""
+        conn = self._connect()
+        try:
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {self._table} "
+                "(key TEXT PRIMARY KEY, value)"
+            )
+            conn.commit()
+        finally:
+            conn.close()
+
+    def session(self, session_id: int) -> SQLiteSession:
+        """A fresh connection for one collector thread."""
+        return SQLiteSession(self._connect(), self._table)
+
+    def teardown(self) -> None:
+        """Empty the key-value table so the adapter can be reused."""
+        conn = self._connect()
+        try:
+            conn.execute(f"DELETE FROM {self._table}")
+            conn.commit()
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        """Remove the temporary database file (if this adapter owns it)."""
+        if self._owns_file:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(self.path + suffix)
+                except OSError:
+                    pass

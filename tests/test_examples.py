@@ -19,6 +19,7 @@ CASES = {
     "social_network.py": ["classification"],
     "list_append_elle.py": ["violation (correct!)"],
     "compare_checkers.py": ["sessions"],
+    "collect_sqlite.py": ["satisfies SI", "anomaly class"],
     "online_monitoring.py": ["ms/txn amortized", "violation detected"],
     "parallel_checking.py": ["verdicts agree", "anomaly class"],
 }
