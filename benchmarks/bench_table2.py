@@ -14,10 +14,14 @@ interpretation algorithm.  The reproduced claims:
 import pytest
 
 from repro.bench.harness import render_table
-from repro.core.checker import check_snapshot_isolation
+from repro.core.checker import PolySIChecker
 from repro.interpret import interpret_violation
 from repro.storage.faults import DATABASE_PROFILES
 from repro.workloads.generator import WorkloadParams, generate_history
+
+# The class API, bound once (the deprecated check_snapshot_isolation
+# wrapper warns on every call, which would pollute benchmark output).
+_check_si = PolySIChecker().check
 
 PARAMS = WorkloadParams(
     sessions=6, txns_per_session=10, ops_per_txn=5, keys=8,
@@ -32,7 +36,7 @@ def find_violation(profile_name: str):
     faults = DATABASE_PROFILES[profile_name]["faults"]
     for seed in range(MAX_SEEDS):
         run = generate_history(PARAMS, seed=seed, faults=faults)
-        result = check_snapshot_isolation(run.history)
+        result = _check_si(run.history)
         if not result.satisfies_si:
             return seed + 1, result
     return MAX_SEEDS, None
@@ -55,7 +59,7 @@ def test_galera_analog_shows_lost_update():
     faults = DATABASE_PROFILES["mariadb-galera-sim"]["faults"]
     for seed in range(MAX_SEEDS):
         run = generate_history(PARAMS, seed=seed, faults=faults)
-        result = check_snapshot_isolation(run.history)
+        result = _check_si(run.history)
         if not result.satisfies_si:
             classifications.add(interpret_violation(result).classification)
             if "lost update" in classifications:

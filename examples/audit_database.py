@@ -17,8 +17,7 @@ counterexample.
 Run:  python examples/audit_database.py
 """
 
-from repro import check_snapshot_isolation
-from repro.interpret import interpret_violation
+from repro import check
 from repro.storage.client import run_workload
 from repro.storage.database import MVCCDatabase
 from repro.storage.faults import FaultConfig
@@ -54,9 +53,9 @@ def audit(name: str, faults: FaultConfig) -> None:
         spec = generate_workload(PARAMS, seed=seed)
         db = MVCCDatabase(faults=faults, seed=seed)
         run = run_workload(db, spec, seed=seed)
-        result = check_snapshot_isolation(run.history)
-        if not result.satisfies_si:
-            example = interpret_violation(result)
+        report = check(run.history)
+        if not report.ok:
+            example = report.interpret()
             print(f"violation after {seed + 1} run(s): "
                   f"{example.classification}")
             print(example.describe())

@@ -18,10 +18,9 @@ Run:  python examples/collect_sqlite.py
 from repro import (
     FaultyAdapter,
     SQLiteAdapter,
-    check_snapshot_isolation,
+    check,
     collect_history,
 )
-from repro.interpret import interpret_violation
 from repro.workloads.generator import WorkloadParams
 
 PARAMS = WorkloadParams(
@@ -42,8 +41,8 @@ def collect_clean() -> None:
         f"{run.aborted} aborted, {run.retried} retried attempt(s) "
         f"({run.throughput:.0f} txn/s)"
     )
-    result = check_snapshot_isolation(run.history)
-    assert result.satisfies_si, "harness bug: SQLite must produce SI histories"
+    report = check(run.history)
+    assert report.ok, "harness bug: SQLite must produce SI histories"
     print("verdict: the collected history satisfies SI\n")
 
 
@@ -55,10 +54,10 @@ def collect_faulty() -> None:
         f"collected {len(run.history)} txns: {run.committed} committed, "
         f"{run.aborted} aborted"
     )
-    result = check_snapshot_isolation(run.history)
-    assert not result.satisfies_si, "injection failed to plant an anomaly"
-    example = interpret_violation(result)
-    print(f"verdict: {result.describe()}")
+    report = check(run.history)
+    assert not report.ok, "injection failed to plant an anomaly"
+    example = report.interpret()
+    print(f"verdict: {report.describe()}")
     print(f"anomaly class: {example.classification}")
 
 

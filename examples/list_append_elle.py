@@ -18,9 +18,9 @@ from repro.listappend import (
     L,
     ListHistoryBuilder,
     build_list_polygraph,
-    check_list_history,
     generate_list_history,
 )
+from repro import check
 from repro.storage.faults import FaultConfig
 from repro.workloads.generator import WorkloadParams, generate_history
 
@@ -36,17 +36,17 @@ def hand_built() -> None:
     graph, violations, _ = build_list_polygraph(history)
     print(f"constraints after inference: {graph.num_constraints} "
           f"(the read of [1, 2] pinned the version order)")
-    result = check_list_history(history)
-    print(f"verdict: {'SI' if result.satisfies_si else 'violation'}")
+    result = check(history, isolation="listappend")
+    print(f"verdict: {'SI' if result.ok else 'violation'}")
 
     # Now a lost-update-shaped anomaly: both writers saw the empty list.
     b = ListHistoryBuilder()
     b.txn(0, [L("log", ()), A("log", 1)])
     b.txn(1, [L("log", ()), A("log", 2)])
     b.txn(2, [L("log", (1, 2))])
-    result = check_list_history(b.build())
+    result = check(b.build(), isolation="listappend")
     print(f"concurrent read-modify-append verdict: "
-          f"{'SI' if result.satisfies_si else 'violation (correct!)'}")
+          f"{'SI' if result.ok else 'violation (correct!)'}")
 
 
 def generated(seed: int = 3) -> None:
@@ -57,10 +57,10 @@ def generated(seed: int = 3) -> None:
     )
     history = generate_list_history(params, seed=seed)
     t0 = time.perf_counter()
-    result = check_list_history(history)
+    result = check(history, isolation="listappend")
     list_seconds = time.perf_counter() - t0
     print(f"{len(history)} txns checked in {list_seconds * 1000:.0f} ms "
-          f"-> {'SI' if result.satisfies_si else 'violation'}")
+          f"-> {'SI' if result.ok else 'violation'}")
 
     # The same workload shape as opaque register writes, for comparison.
     register = generate_history(params, seed=seed).history
@@ -83,8 +83,8 @@ def buggy_store(seed_range: int = 12) -> None:
             params, seed=seed,
             faults=FaultConfig(no_first_committer_wins=True),
         )
-        result = check_list_history(history)
-        if not result.satisfies_si:
+        result = check(history, isolation="listappend")
+        if not result.ok:
             print(f"violation detected after {seed + 1} run(s): "
                   f"{result.describe().splitlines()[0]}")
             return

@@ -14,8 +14,7 @@ Run:  python examples/parallel_checking.py
 
 import time
 
-from repro import HistoryBuilder, ParallelChecker, R, W, check_snapshot_isolation
-from repro.interpret import interpret_violation
+from repro import HistoryBuilder, ParallelChecker, R, W, check
 
 
 def tenant_history(tenants=6, txns_per_tenant=40, *, violating_tenant=None):
@@ -41,9 +40,9 @@ def main():
     print(f"history: {len(history)} txns across disjoint tenant key sets")
 
     start = time.perf_counter()
-    serial = check_snapshot_isolation(history)
+    serial = check(history)
     serial_s = time.perf_counter() - start
-    print(f"serial   : {'SI' if serial.satisfies_si else 'VIOLATION'} "
+    print(f"serial   : {'SI' if serial.ok else 'VIOLATION'} "
           f"in {serial_s * 1000:.0f} ms")
 
     for workers in (2, 4):
@@ -57,16 +56,15 @@ def main():
               f"({result.stats['components']} components, "
               f"{result.stats.get('shards', 0)} shards, "
               f"strategy={result.stats['strategy']})")
-        assert result.satisfies_si == serial.satisfies_si
+        assert result.satisfies_si == serial.ok
     print("verdicts agree across all worker counts")
 
     print("\n--- planting a lost update in tenant 3 ---")
     bad = tenant_history(violating_tenant=3)
-    with ParallelChecker(4) as checker:
-        result = checker.check(bad)
-    assert not result.satisfies_si
-    print(result.describe())
-    example = interpret_violation(result)
+    report = check(bad, mode="parallel", workers=4)
+    assert not report.ok
+    print(report.describe())
+    example = report.interpret()
     print(f"anomaly class: {example.classification}")
 
 

@@ -3,25 +3,23 @@
 
 Builds three tiny histories by hand — one valid, one exhibiting write
 skew (allowed under SI!), one exhibiting a lost update (forbidden) — and
-runs the PolySI checker on each, printing verdicts and, for the
-violation, the interpreted counterexample.
+runs the unified checking facade (``repro.check``) on each, printing
+verdicts and, for the violation, the interpreted counterexample.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import HistoryBuilder, R, W, check_snapshot_isolation
-from repro.interpret import interpret_violation
+from repro import HistoryBuilder, R, W, check
 
 
 def check_and_report(title: str, history) -> None:
     print(f"\n=== {title} ===")
-    result = check_snapshot_isolation(history)
-    print(f"verdict: {'satisfies SI' if result.satisfies_si else 'VIOLATES SI'}")
-    print(f"decided by: {result.decided_by} "
-          f"(total {result.total_time * 1000:.1f} ms)")
-    if not result.satisfies_si:
-        example = interpret_violation(result)
-        print(example.describe())
+    report = check(history)             # the unified facade: one Report
+    print(f"verdict: {'satisfies SI' if report.ok else 'VIOLATES SI'}")
+    print(f"decided by: {report.decided_by} "
+          f"(total {report.total_time * 1000:.1f} ms)")
+    if not report.ok:
+        print(report.interpret().describe())
 
 
 def valid_history():

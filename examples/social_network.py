@@ -10,8 +10,7 @@ causally impossible state.
 Run:  python examples/social_network.py
 """
 
-from repro import check_snapshot_isolation
-from repro.interpret import interpret_violation
+from repro import check
 from repro.storage.client import run_workload
 from repro.storage.database import MVCCDatabase
 from repro.storage.faults import FaultConfig
@@ -57,12 +56,12 @@ def main() -> None:
     for seed in range(40):
         db = MVCCDatabase(faults=replicated, seed=seed)
         run = run_workload(db, social_workload(rounds=6), seed=seed)
-        result = check_snapshot_isolation(run.history)
-        if result.satisfies_si:
+        report = check(run.history)
+        if report.ok:
             continue
         print(f"replica lag surfaced an anomaly (seed {seed}):")
         explain_carols_view(run.history)
-        example = interpret_violation(result)
+        example = report.interpret()
         print(f"\nPolySI classification: {example.classification}")
         print(example.describe())
         return

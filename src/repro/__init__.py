@@ -4,17 +4,28 @@ Reimplementation of "Efficient Black-box Checking of Snapshot Isolation
 in Databases" (PVLDB 16(6), 2023).  See DESIGN.md for the system
 inventory and EXPERIMENTS.md for the reproduced evaluation.
 
-Quickstart::
+Quickstart — one façade call for every checking scenario::
 
-    from repro import HistoryBuilder, R, W, check_snapshot_isolation
+    from repro import HistoryBuilder, R, W, check
 
     b = HistoryBuilder()
     b.txn(0, [W("x", 1), W("y", 1)])
     b.txn(1, [R("x", 1), W("x", 2)])
-    result = check_snapshot_isolation(b.build())
-    assert result.satisfies_si
+    report = check(b.build())                 # SI, batch, PolySI engine
+    assert report.ok
+
+    check(history, isolation="ser", engine="cobra")   # serializability
+    check(history, mode="parallel", workers=4)        # sharded engine
+    check(history, mode="online")                     # incremental replay
+
+``repro.api`` holds the façade: :class:`~repro.api.Checker`,
+:class:`~repro.api.Report`, :class:`~repro.api.CheckOptions`, and the
+engine registry (``python -m repro engines`` lists every registered
+isolation x mode x engine combination).
 """
 
+from . import api
+from .api import Checker, CheckOptions, Report, check
 from .core import (
     ABORTED,
     COMMITTED,
@@ -41,19 +52,24 @@ from .collect import (
 from .online import OnlineChecker, OnlineResult, WindowPolicy
 from .parallel import ParallelChecker, check_snapshot_isolation_parallel
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ABORTED",
     "COMMITTED",
     "INITIAL_VALUE",
+    "Checker",
+    "CheckOptions",
     "CheckResult",
     "CollectionRun",
     "CollectOptions",
     "Collector",
     "DBAPIAdapter",
     "FaultyAdapter",
+    "Report",
     "SQLiteAdapter",
+    "api",
+    "check",
     "collect_history",
     "History",
     "HistoryBuilder",

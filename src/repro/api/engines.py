@@ -1,0 +1,236 @@
+"""Builtin engine registrations.
+
+Each backend in the repository registers here: the paper's PolySI
+pipeline (with its online, parallel, and segmented drivers plus the
+weak-isolation and list-append front ends) and the Section 5.4 baselines
+(Cobra, CobraSI, dbcop, the naive oracles).  Adding a backend means
+writing a runner with the ``(subject, isolation, mode, options)``
+signature and calling :func:`~repro.api.registry.register_engine` — see
+docs/api.md for the extension guide.
+"""
+
+from __future__ import annotations
+
+from .options import CheckOptions
+from .registry import CheckerError, EngineSpec, register_engine
+
+__all__ = ["register_builtin_engines"]
+
+
+_PIPELINE_OPTIONS = ("prune", "compact", "closure", "check_axioms_first",
+                     "initial_values")
+
+
+def _expect(subject, kind: str, *, engine: str, mode: str):
+    """Validate the runner input against the registered input kind."""
+    from ..core.history import History
+    from ..extensions.segmented import SegmentedRun
+    from ..listappend.model import ListHistory
+
+    expected = {"history": History, "segmented_run": SegmentedRun,
+                "list_history": ListHistory}[kind]
+    if not isinstance(subject, expected):
+        article = {"history": "a History", "segmented_run": "a SegmentedRun",
+                   "list_history": "a ListHistory"}[kind]
+        raise CheckerError(
+            f"engine {engine!r} in mode {mode!r} checks {article}; got "
+            f"{type(subject).__name__} (segmented checking consumes the "
+            "snapshot-delimited runs produced by run_segmented_workload; "
+            "list-append checking consumes ListHistory / Elle histories)"
+        )
+    return subject
+
+
+# -- polysi -------------------------------------------------------------------------
+
+
+def _run_polysi(subject, isolation: str, mode: str, options: CheckOptions):
+    from ..core.checker import PolySIChecker
+    from ..extensions.causal import _check_ra, _check_tcc
+    from ..extensions.segmented import _check_segmented
+    from ..listappend.checker import ListAppendChecker
+    from ..online.checker import OnlineChecker
+    from ..online.window import WindowPolicy
+    from ..parallel.checker import ParallelChecker
+
+    if isolation == "causal":
+        return _check_tcc(_expect(subject, "history", engine="polysi",
+                                  mode=mode))
+    if isolation == "ra":
+        return _check_ra(_expect(subject, "history", engine="polysi",
+                                 mode=mode))
+    if isolation == "listappend":
+        _expect(subject, "list_history", engine="polysi", mode=mode)
+        return ListAppendChecker(prune=options.prune).check(subject)
+
+    pipeline = options.subset(_PIPELINE_OPTIONS)
+    if mode == "batch":
+        _expect(subject, "history", engine="polysi", mode=mode)
+        return PolySIChecker(**pipeline).check(subject)
+    if mode == "online":
+        _expect(subject, "history", engine="polysi", mode=mode)
+        window = (WindowPolicy(max_live=options.max_live)
+                  if options.max_live else None)
+        checker = OnlineChecker(
+            prune=options.prune,
+            solve_every=options.solve_every,
+            window=window,
+            sessions=options.sessions,
+            initial_values=options.initial_values,
+        )
+        return checker.replay(subject)
+    if mode == "parallel":
+        _expect(subject, "history", engine="polysi", mode=mode)
+        with ParallelChecker(
+            options.workers,
+            strategy=options.strategy,
+            early_cancel=options.early_cancel,
+            max_shards=options.max_shards,
+            oversubscribe=options.oversubscribe,
+            **_strip_initial_values(pipeline),
+        ) as checker:
+            return checker.check(subject)
+    # mode == "segmented"
+    _expect(subject, "segmented_run", engine="polysi", mode=mode)
+    return _check_segmented(
+        subject,
+        workers=options.workers or 1,
+        oversubscribe=options.oversubscribe,
+        **_strip_initial_values(pipeline),
+    )
+
+
+def _strip_initial_values(pipeline: dict) -> dict:
+    """The parallel/segmented drivers set initial values per shard."""
+    return {k: v for k, v in pipeline.items() if k != "initial_values"}
+
+
+# -- baselines ----------------------------------------------------------------------
+
+
+def _run_cobra(subject, isolation: str, mode: str, options: CheckOptions):
+    from ..baselines.cobra import CobraChecker
+
+    _expect(subject, "history", engine="cobra", mode=mode)
+    return CobraChecker(gpu=options.gpu, prune=options.prune).check(subject)
+
+
+def _run_cobrasi(subject, isolation: str, mode: str, options: CheckOptions):
+    from ..baselines.cobrasi import CobraSIChecker
+
+    _expect(subject, "history", engine="cobrasi", mode=mode)
+    return CobraSIChecker(gpu=options.gpu,
+                          prune=options.prune).check(subject)
+
+
+def _run_dbcop(subject, isolation: str, mode: str, options: CheckOptions):
+    from ..baselines.dbcop import DbcopChecker
+
+    _expect(subject, "history", engine="dbcop", mode=mode)
+    checker = DbcopChecker(max_states=options.max_states)
+    if isolation == "si":
+        return checker.check_si(subject)
+    return checker.check_ser(subject)
+
+
+def _run_naive(subject, isolation: str, mode: str, options: CheckOptions):
+    from ..baselines.naive import naive_check_ser, naive_check_si
+
+    _expect(subject, "history", engine="naive", mode=mode)
+    if isolation == "si":
+        return naive_check_si(subject, max_orders=options.max_orders)
+    return naive_check_ser(subject, max_txns=options.max_txns)
+
+
+# -- registration -------------------------------------------------------------------
+
+
+def register_builtin_engines() -> None:
+    """Register every backend shipped with the repository (idempotent)."""
+    from .registry import _REGISTRY
+
+    if "polysi" in _REGISTRY:
+        return
+
+    register_engine(EngineSpec(
+        name="polysi",
+        summary=("the paper's pipeline: axioms -> polygraph -> prune -> "
+                 "encode -> MonoSAT-style solve; online, parallel, and "
+                 "segmented drivers; TCC/RA and list-append front ends"),
+        combos=frozenset({
+            ("si", "batch"), ("si", "online"), ("si", "parallel"),
+            ("si", "segmented"),
+            ("causal", "batch"), ("ra", "batch"),
+            ("listappend", "batch"),
+        }),
+        options=frozenset({
+            "prune", "compact", "closure", "check_axioms_first",
+            "initial_values", "workers", "strategy", "oversubscribe",
+            "early_cancel", "max_shards", "solve_every", "max_live",
+            "sessions",
+        }),
+        runner=_run_polysi,
+        inputs={("si", "segmented"): "segmented_run",
+                ("listappend", "batch"): "list_history"},
+        # What each combo actually forwards (mirrors _run_polysi): the
+        # weak-isolation checkers take no options, the online driver
+        # only prune of the pipeline switches, and the parallel /
+        # segmented drivers set initial values per shard themselves.
+        options_for={
+            ("si", "batch"): frozenset(_PIPELINE_OPTIONS),
+            ("si", "online"): frozenset({
+                "prune", "solve_every", "max_live", "sessions",
+                "initial_values",
+            }),
+            ("si", "parallel"): frozenset({
+                "prune", "compact", "closure", "check_axioms_first",
+                "workers", "strategy", "oversubscribe", "early_cancel",
+                "max_shards",
+            }),
+            ("si", "segmented"): frozenset({
+                "prune", "compact", "closure", "check_axioms_first",
+                "workers", "oversubscribe",
+            }),
+            ("causal", "batch"): frozenset(),
+            ("ra", "batch"): frozenset(),
+            ("listappend", "batch"): frozenset({"prune"}),
+        },
+    ))
+
+    register_engine(EngineSpec(
+        name="cobra",
+        summary=("Cobra-style serializability checking: plain polygraph "
+                 "acyclicity via MonoSAT (Section 5.4 baseline)"),
+        combos=frozenset({("ser", "batch")}),
+        options=frozenset({"gpu", "prune"}),
+        runner=_run_cobra,
+    ))
+
+    register_engine(EngineSpec(
+        name="cobrasi",
+        summary=("SI via the Biswas-Enea split reduction on top of Cobra "
+                 "(Section 5.4 baseline)"),
+        combos=frozenset({("si", "batch")}),
+        options=frozenset({"gpu", "prune"}),
+        runner=_run_cobrasi,
+    ))
+
+    register_engine(EngineSpec(
+        name="dbcop",
+        summary=("dbcop-style frontier search, no constraint solver; "
+                 "boolean verdict only (Section 5.4 baseline)"),
+        combos=frozenset({("si", "batch"), ("ser", "batch")}),
+        options=frozenset({"max_states"}),
+        runner=_run_dbcop,
+    ))
+
+    register_engine(EngineSpec(
+        name="naive",
+        summary=("brute-force oracles: enumerate version orders (SI) or "
+                 "serial orders (SER); small histories only"),
+        combos=frozenset({("si", "batch"), ("ser", "batch")}),
+        options=frozenset({"max_orders", "max_txns"}),
+        runner=_run_naive,
+        options_for={("si", "batch"): frozenset({"max_orders"}),
+                     ("ser", "batch"): frozenset({"max_txns"})},
+    ))

@@ -1,0 +1,119 @@
+"""The one configuration object of the checking façade.
+
+Every tunable that used to travel as scattered keyword arguments —
+``PolySIChecker(prune=..., compact=...)``, ``OnlineChecker(solve_every=
+...)``, ``ParallelChecker(workers=..., strategy=...)``, ``DbcopChecker(
+max_states=...)`` — is a field of :class:`CheckOptions`.  The façade
+builds one from ``**kwargs``, and the engine registry validates it:
+setting an option the selected engine never reads, or one that only
+makes sense in another mode, is a typed error instead of a silent no-op
+(see :mod:`repro.api.registry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, Optional
+
+__all__ = ["CheckOptions", "MODE_OPTIONS", "OPTION_DOCS"]
+
+
+#: Options that are only meaningful under specific checking modes.  An
+#: option absent from this table applies to every mode its engine
+#: supports.
+MODE_OPTIONS: Dict[str, frozenset] = {
+    "workers": frozenset({"parallel", "segmented"}),
+    "strategy": frozenset({"parallel"}),
+    "oversubscribe": frozenset({"parallel", "segmented"}),
+    "early_cancel": frozenset({"parallel"}),
+    "max_shards": frozenset({"parallel"}),
+    "solve_every": frozenset({"online"}),
+    "max_live": frozenset({"online"}),
+    "sessions": frozenset({"online"}),
+}
+
+#: One-line help per option, surfaced by ``repro engines`` and by the
+#: option-validation errors.
+OPTION_DOCS: Dict[str, str] = {
+    "prune": "apply constraint pruning before encoding (default True)",
+    "compact": "use generalized (compacted) constraints (default True)",
+    "closure": 'reachability kernel: "bits" or "numpy"',
+    "check_axioms_first": "run the axiom stage before construction",
+    "initial_values": "map key -> value considered initial (segmented runs)",
+    "workers": "process count for parallel / segmented checking",
+    "strategy": 'shard strategy: "auto", "components", or "constraints"',
+    "oversubscribe": "allow more pool processes than CPU cores",
+    "early_cancel": "cancel queued shards once one shard violates",
+    "max_shards": "soft cap on component shards (0: one per component)",
+    "solve_every": "online mode: solve the SAT residue every N txns",
+    "max_live": "online mode: bound live transactions (windowed eviction)",
+    "sessions": "online mode: session universe (required for windowing)",
+    "gpu": "Cobra: use the dense-matrix closure kernel (the GPU stand-in)",
+    "max_states": "dbcop: frontier-search state budget",
+    "max_orders": "naive SI oracle: version-order enumeration budget",
+    "max_txns": "naive SER oracle: transaction-count budget",
+}
+
+
+@dataclass
+class CheckOptions:
+    """Configuration for one :class:`repro.api.Checker`.
+
+    Fields left at their defaults are never validated against the
+    engine's option schema; any field you *set* must be one the selected
+    (engine, mode) actually consumes.
+    """
+
+    # Pipeline switches (PolySI and Cobra-family engines).
+    prune: bool = True
+    compact: bool = True
+    closure: str = "bits"
+    check_axioms_first: bool = True
+    initial_values: Optional[dict] = None
+
+    # Parallel / segmented checking.
+    workers: Optional[int] = None
+    strategy: str = "auto"
+    oversubscribe: bool = False
+    early_cancel: bool = True
+    max_shards: Optional[int] = None
+
+    # Online checking.
+    solve_every: int = 1
+    max_live: int = 0
+    sessions: Optional[Iterable[int]] = None
+
+    # Baseline engines.
+    gpu: bool = False
+    max_states: int = 2_000_000
+    max_orders: int = 2_000_000
+    max_txns: int = 9
+
+    def __post_init__(self) -> None:
+        if self.closure not in ("bits", "numpy"):
+            raise ValueError(f"unknown closure kernel: {self.closure!r}")
+        if self.strategy not in ("auto", "components", "constraints"):
+            raise ValueError(f"unknown strategy: {self.strategy!r}")
+        if self.solve_every < 1:
+            raise ValueError("solve_every must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_live < 0:
+            raise ValueError("max_live must be >= 0")
+
+    @classmethod
+    def field_names(cls) -> frozenset:
+        return frozenset(f.name for f in fields(cls))
+
+    def changed(self) -> Dict[str, object]:
+        """The fields that differ from their defaults (what to validate)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    def subset(self, names: Iterable[str]) -> Dict[str, object]:
+        """Kwarg dict of the named fields (for forwarding to a backend)."""
+        return {name: getattr(self, name) for name in names}

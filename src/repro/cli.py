@@ -2,10 +2,13 @@
 
 Commands:
 
-- ``check HISTORY``     — check a history file for snapshot isolation;
-  exit code 0 (satisfies), 1 (violation), 2 (error).  ``--stream``
-  replays the file through the online incremental checker instead of
-  the batch pipeline.
+- ``check HISTORY``     — check a history file through the unified
+  façade: ``--isolation si|ser|causal|ra``, ``--mode
+  batch|online|parallel``, ``--engine polysi|cobra|cobrasi|dbcop|naive``
+  (old ``--stream`` / ``--parallel N`` flags remain as deprecated
+  aliases for ``--mode online`` / ``--mode parallel --workers N``).
+- ``engines``           — list every registered engine with its
+  supported isolation x mode combinations.
 - ``watch``             — run a workload against a (possibly faulty)
   store and check the transaction stream *online*, as it commits.
 - ``collect``           — run a workload against a **live database**
@@ -18,6 +21,17 @@ Commands:
 - ``corpus``            — sweep the known-anomaly corpus and report the
   detection rate.
 - ``profiles``          — list the simulated database profiles.
+
+Exit-code contract (every command):
+
+- **0** — success: the history satisfies the checked isolation level
+  (or the command has no verdict and simply completed).
+- **1** — a violation was found (``corpus``: at least one anomaly was
+  missed).
+- **2** — error: bad usage (conflicting or unsupported flags, an
+  unsupported isolation x mode x engine combination), unreadable input,
+  or an adapter/runtime failure.  All error text goes to stderr as
+  ``error: ...`` through a single path in :func:`main`.
 """
 
 from __future__ import annotations
@@ -26,6 +40,9 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .api import Checker, CheckerError, adapt_result
+from .api import check as facade_check
+from .api import describe_engines, engine_names
 from .collect import (
     ADAPTERS,
     INJECTION_PROFILES,
@@ -37,20 +54,23 @@ from .collect import (
 )
 from .core.checker import PolySIChecker
 from .histories.codec import dump_history, load_history
-from .interpret import interpret_violation
 from .online import OnlineChecker, WindowPolicy
-from .parallel import ParallelChecker
 from .storage.client import run_workload, stream_workload
 from .storage.database import MVCCDatabase
 from .storage.faults import DATABASE_PROFILES
 from .workloads.corpus import known_anomaly_corpus
 from .workloads.generator import WorkloadParams, generate_workload
 
-__all__ = ["main"]
+__all__ = ["main", "CLIError"]
+
+
+class CLIError(Exception):
+    """A usage error any command can raise; :func:`main` prints it to
+    stderr and exits 2 — the same path adapter and I/O errors take."""
 
 
 def _positive_int(text: str) -> int:
-    """argparse type for ``--parallel``: an integer >= 1."""
+    """argparse type for worker counts: an integer >= 1."""
     try:
         value = int(text)
     except ValueError:
@@ -87,15 +107,15 @@ def _params(args) -> WorkloadParams:
     )
 
 
-def _explain_violation(result, dot_path: Optional[str]):
+def _explain_report(report, dot_path: Optional[str]):
     """Shared violation reporting: classify, print, optionally write DOT.
 
-    Returns the interpretation, or ``None`` when the violation carries
-    no interpretable evidence (axiom failures without a cycle).
+    Returns the interpretation, or ``None`` when the report carries no
+    interpretable evidence (oracle verdicts, online witnesses).
     """
-    if not (result.cycle or result.anomalies):
+    example = report.counterexample
+    if example is None:
         return None
-    example = interpret_violation(result)
     print(f"anomaly class: {example.classification}")
     if dot_path:
         with open(dot_path, "w", encoding="utf-8") as handle:
@@ -104,51 +124,88 @@ def _explain_violation(result, dot_path: Optional[str]):
     return example
 
 
-def _check_history(history, parallel: Optional[int], *, prune: bool = True):
-    """Check ``history`` serially or with the sharded engine, printing
-    the shard summary line in the parallel case."""
-    if parallel:
-        with ParallelChecker(parallel, prune=prune) as checker:
-            result = checker.check(history)
-        print(f"checked with {parallel} worker(s): "
-              f"{result.stats.get('strategy', 'trivial')} strategy, "
-              f"{result.stats.get('components', 0)} component(s), "
-              f"{result.stats.get('shards', 0)} shard(s)")
-        return result
-    return PolySIChecker(prune=prune).check(history)
+def _render_report(report, *, explain: bool = False,
+                   dot: Optional[str] = None) -> int:
+    """The one verdict renderer (check / watch / collect all use it):
+    verdict paragraph, stage timings, shard summary for parallel runs,
+    optional interpretation.  Returns the exit code for the verdict."""
+    print(report.describe())
+    if report.timings:
+        print("stages (s): " + ", ".join(
+            f"{k}={v:.3f}" for k, v in report.timings.items()
+        ))
+    if report.mode == "parallel":
+        stats = report.stats
+        print(f"checked with {stats.get('workers', '?')} worker(s): "
+              f"{stats.get('strategy', 'trivial')} strategy, "
+              f"{stats.get('components', 0)} component(s), "
+              f"{stats.get('shards', 0)} shard(s)")
+    if report.ok:
+        return 0
+    if explain or dot:
+        _explain_report(report, dot)
+    return 1
+
+
+def _resolve_check_mode(args) -> None:
+    """Fold the deprecated ``--stream`` / ``--parallel N`` aliases into
+    ``--mode`` / ``--workers``, rejecting contradictions."""
+    if args.stream and args.parallel:
+        raise CLIError(
+            "--parallel applies to the batch pipeline and --stream to the "
+            "online one; pick one mode (--mode batch|online|parallel)"
+        )
+    if args.stream:
+        if args.mode not in ("batch", "online"):
+            raise CLIError(
+                f"--stream (deprecated alias for --mode online) conflicts "
+                f"with --mode {args.mode}"
+            )
+        print("note: --stream is deprecated; use --mode online",
+              file=sys.stderr)
+        args.mode = "online"
+    if args.parallel:
+        if args.mode not in ("batch", "parallel"):
+            raise CLIError(
+                f"--parallel (deprecated alias for --mode parallel "
+                f"--workers N) conflicts with --mode {args.mode}"
+            )
+        print("note: --parallel N is deprecated; use --mode parallel "
+              "--workers N", file=sys.stderr)
+        args.mode = "parallel"
+        if args.workers is None:
+            args.workers = args.parallel
 
 
 def cmd_check(args) -> int:
-    """``repro check``: verdict + timings; optional interpretation."""
+    """``repro check``: façade verdict + timings; optional
+    interpretation."""
+    _resolve_check_mode(args)
+    if (args.explain or args.dot) and args.mode == "online":
+        raise CLIError(
+            "--explain/--dot require an evidence-carrying mode; re-run "
+            "with --mode batch or --mode parallel"
+        )
+    options = {"prune": not args.no_prune}
+    if args.workers is not None:
+        options["workers"] = args.workers
+    if args.mode == "online":
+        options["solve_every"] = args.solve_every
+    elif args.solve_every != 1:
+        # Pre-2.0 behavior: the flag was silently ignored outside the
+        # online pipeline; keep old scripts working but say so.
+        print("note: --solve-every applies to --mode online; ignored",
+              file=sys.stderr)
+    checker = Checker(args.isolation, args.mode, args.engine, **options)
     history = load_history(args.history, fmt=args.format)
-    if args.stream:
-        if args.explain or args.dot:
-            print("error: --explain/--dot require the batch pipeline; "
-                  "re-run without --stream", file=sys.stderr)
-            return 2
-        if args.parallel:
-            print("error: --parallel applies to the batch pipeline; "
-                  "re-run without --stream", file=sys.stderr)
-            return 2
-        online = OnlineChecker(prune=not args.no_prune,
-                               solve_every=args.solve_every)
-        result = online.replay(history)
-        print(result.describe())
-        print("stages (s): " + ", ".join(
-            f"{k}={v:.3f}" for k, v in result.timings.items()
-        ))
-        return 0 if result.satisfies_si else 1
-    result = _check_history(history, args.parallel,
-                            prune=not args.no_prune)
-    print(result.describe())
-    print(f"stages (s): " + ", ".join(
-        f"{k}={v:.3f}" for k, v in result.timings.items()
-    ))
-    if result.satisfies_si:
-        return 0
-    if args.explain:
-        _explain_violation(result, args.dot)
-    return 1
+    report = checker.check(history)
+    return _render_report(report, explain=args.explain, dot=args.dot)
+
+
+def cmd_engines(args) -> int:
+    """``repro engines``: list the engine registry."""
+    print(describe_engines(verbose=args.verbose), end="")
+    return 0
 
 
 def cmd_watch(args) -> int:
@@ -175,8 +232,8 @@ def cmd_watch(args) -> int:
         seen += 1
         if not result.satisfies_si:
             print(f"violation after {seen} transaction(s):")
-            print(result.describe())
-            return 1
+            return _render_report(adapt_result(
+                result, isolation="si", mode="online", engine="polysi"))
         if args.report_every and seen % args.report_every == 0:
             print(
                 f"{seen} txns: SI so far; live={checker.live_transactions} "
@@ -184,14 +241,16 @@ def cmd_watch(args) -> int:
                 f"({1000 * result.total_time / max(1, seen):.2f} ms/txn)"
             )
     result = checker.finish()
-    print(result.describe())
+    report = adapt_result(result, isolation="si", mode="online",
+                          engine="polysi")
+    code = _render_report(report)
     print(
         f"checked {result.stats['accepted']} committed transactions in "
         f"{result.total_time:.3f}s "
         f"({1000 * result.total_time / max(1, result.stats['accepted']):.2f} "
         "ms/txn amortized)"
     )
-    return 0 if result.satisfies_si else 1
+    return code
 
 
 def _collect_adapter(args):
@@ -202,9 +261,9 @@ def _collect_adapter(args):
             kwargs["table"] = args.table
     else:
         if not args.driver:
-            raise ValueError("--adapter dbapi requires --driver")
+            raise CLIError("--adapter dbapi requires --driver")
         if not args.dsn:
-            raise ValueError("--adapter dbapi requires --dsn")
+            raise CLIError("--adapter dbapi requires --dsn")
         kwargs = {"driver": args.driver, "dsn": args.dsn,
                   "begin_sql": args.begin_sql}
         if args.table:
@@ -237,12 +296,12 @@ def cmd_collect(args) -> int:
         print(f"wrote {args.out}")
     if not args.check and not args.parallel:
         return 0
-    result = _check_history(run.history, args.parallel)
-    print(result.describe())
-    if result.satisfies_si:
-        return 0
-    _explain_violation(result, args.dot)
-    return 1
+    if args.parallel:
+        report = facade_check(run.history, mode="parallel",
+                              workers=args.parallel)
+    else:
+        report = facade_check(run.history)
+    return _render_report(report, explain=not report.ok, dot=args.dot)
 
 
 def cmd_generate(args) -> int:
@@ -322,7 +381,9 @@ def cmd_audit(args) -> int:
         print(f"no violation in {args.runs} runs")
         return 0
     print(f"violation found after {hit + 1} run(s)")
-    example = _explain_violation(result, args.dot)
+    report = adapt_result(result, isolation="si", mode="batch",
+                          engine="polysi")
+    example = _explain_report(report, args.dot)
     if example is not None:
         print(example.describe())
     return 1
@@ -365,18 +426,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="check a history file")
     p.add_argument("history", help="path to a history file")
     p.add_argument("--format", default="json", choices=["json", "text"])
+    p.add_argument("--isolation", default="si",
+                   choices=["si", "ser", "causal", "ra"],
+                   help="isolation level to check (default: si)")
+    p.add_argument("--mode", default="batch",
+                   choices=["batch", "online", "parallel"],
+                   help="checking mode (default: batch)")
+    p.add_argument("--engine", default=None, choices=engine_names(),
+                   help="checking backend (default: per isolation level)")
+    p.add_argument("--workers", type=_positive_int, metavar="N",
+                   help="worker processes for --mode parallel")
     p.add_argument("--no-prune", action="store_true",
                    help="disable constraint pruning")
     p.add_argument("--stream", action="store_true",
-                   help="replay through the online incremental checker")
+                   help="deprecated alias for --mode online")
     p.add_argument("--solve-every", type=int, default=1,
                    help="online mode: solve the SAT residue every N txns")
     p.add_argument("--explain", action="store_true",
                    help="run the interpretation algorithm on violations")
     p.add_argument("--dot", help="write the counterexample DOT here")
     p.add_argument("--parallel", type=_positive_int, metavar="N",
-                   help="check with N worker processes (sharded engine)")
+                   help="deprecated alias for --mode parallel --workers N")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "engines",
+        help="list registered engines and their isolation/mode support",
+    )
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also list each engine's option schema")
+    p.set_defaults(func=cmd_engines)
 
     p = sub.add_parser("watch", help="online-check a live workload stream")
     _add_workload_args(p)
@@ -457,12 +536,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code (0/1/2 contract:
+    see the module docstring)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (OSError, ValueError, AdapterError) as exc:
+    except (CLIError, CheckerError, OSError, ValueError,
+            AdapterError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

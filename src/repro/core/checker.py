@@ -350,5 +350,10 @@ def _map_cycle(
 
 
 def check_snapshot_isolation(history: History, **options) -> CheckResult:
-    """Convenience wrapper: ``PolySIChecker(**options).check(history)``."""
+    """Deprecated alias for the façade: use ``repro.check(history)``
+    instead, which returns the unified :class:`repro.api.Report` (this
+    wrapper keeps returning the native :class:`CheckResult`)."""
+    from ..deprecation import warn_deprecated
+
+    warn_deprecated("check_snapshot_isolation()", "repro.check(history)")
     return PolySIChecker(**options).check(history)

@@ -1,0 +1,27 @@
+"""The one deprecation-warning helper for the 2.0 façade shims.
+
+Every pre-façade convenience entry point delegates to its backend and
+calls :func:`warn_deprecated` first, so the message format, category,
+and stack attribution stay consistent across modules (and the next shim
+is one call, not six copied lines).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the standard façade-migration warning.
+
+    ``stacklevel=3`` attributes the warning to the *caller* of the
+    deprecated entry point (helper -> shim -> caller).
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} from the unified façade "
+        "(see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -109,6 +109,28 @@ def _causal_order(history: History,
 
 
 def check_transactional_causal_consistency(history: History) -> WeakCheckResult:
+    """Deprecated alias for the façade: use
+    ``repro.check(history, isolation="causal")`` instead (this wrapper
+    keeps returning the native :class:`WeakCheckResult`)."""
+    from ..deprecation import warn_deprecated
+
+    warn_deprecated("check_transactional_causal_consistency()",
+                    'repro.check(history, isolation="causal")')
+    return _check_tcc(history)
+
+
+def check_read_atomicity(history: History) -> WeakCheckResult:
+    """Deprecated alias for the façade: use
+    ``repro.check(history, isolation="ra")`` instead (this wrapper keeps
+    returning the native :class:`WeakCheckResult`)."""
+    from ..deprecation import warn_deprecated
+
+    warn_deprecated("check_read_atomicity()",
+                    'repro.check(history, isolation="ra")')
+    return _check_ra(history)
+
+
+def _check_tcc(history: History) -> WeakCheckResult:
     """Decide TCC for ``history`` (bad-pattern search, polynomial)."""
     result = WeakCheckResult("TCC")
     start = time.perf_counter()
@@ -184,7 +206,7 @@ def check_transactional_causal_consistency(history: History) -> WeakCheckResult:
     return result
 
 
-def check_read_atomicity(history: History) -> WeakCheckResult:
+def _check_ra(history: History) -> WeakCheckResult:
     """Decide Read Atomicity (no fractured reads) for ``history``."""
     result = WeakCheckResult("RA")
     start = time.perf_counter()

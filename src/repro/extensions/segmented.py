@@ -221,6 +221,25 @@ def check_segmented(
     oversubscribe: bool = False,
     **checker_options,
 ) -> SegmentedCheckResult:
+    """Deprecated alias for the façade: use
+    ``repro.check(run, mode="segmented", workers=N)`` instead, which
+    returns the unified :class:`repro.api.Report` (this wrapper keeps
+    returning the native :class:`SegmentedCheckResult`)."""
+    from ..deprecation import warn_deprecated
+
+    warn_deprecated("check_segmented()",
+                    'repro.check(run, mode="segmented", workers=N)')
+    return _check_segmented(run, workers=workers,
+                            oversubscribe=oversubscribe, **checker_options)
+
+
+def _check_segmented(
+    run: SegmentedRun,
+    *,
+    workers: int = 1,
+    oversubscribe: bool = False,
+    **checker_options,
+) -> SegmentedCheckResult:
     """Check every segment of ``run`` independently.
 
     Stops at the first violating segment (its CheckResult carries the

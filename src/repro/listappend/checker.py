@@ -75,5 +75,12 @@ class ListAppendChecker:
 
 
 def check_list_history(history: ListHistory, **options) -> CheckResult:
-    """Convenience wrapper: ``ListAppendChecker(**options).check(history)``."""
+    """Deprecated alias for the façade: use ``repro.check(history,
+    isolation="listappend")`` instead, which returns the unified
+    :class:`repro.api.Report` (this wrapper keeps returning the native
+    :class:`CheckResult`)."""
+    from ..deprecation import warn_deprecated
+
+    warn_deprecated("check_list_history()",
+                    'repro.check(history, isolation="listappend")')
     return ListAppendChecker(**options).check(history)

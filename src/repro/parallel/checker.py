@@ -486,6 +486,13 @@ class ParallelChecker:
 def check_snapshot_isolation_parallel(
     history: History, workers: Optional[int] = None, **options
 ) -> CheckResult:
-    """Convenience wrapper: one sharded check with a throwaway pool."""
+    """Deprecated alias for the façade: use ``repro.check(history,
+    mode="parallel", workers=N)`` instead, which returns the unified
+    :class:`repro.api.Report` (this wrapper keeps returning the native
+    :class:`CheckResult`)."""
+    from ..deprecation import warn_deprecated
+
+    warn_deprecated("check_snapshot_isolation_parallel()",
+                    'repro.check(history, mode="parallel", workers=N)')
     with ParallelChecker(workers, **options) as checker:
         return checker.check(history)

@@ -7,7 +7,11 @@ import pytest
 from repro.cli import main
 from repro.histories.codec import dump_history
 
-from _helpers import long_fork_history, serializable_history
+from _helpers import (
+    long_fork_history,
+    serializable_history,
+    write_skew_history,
+)
 
 
 class TestCheck:
@@ -130,6 +134,135 @@ class TestParallelFlags:
         serial_line = [l for l in serial_out.splitlines() if "run(s)" in l]
         parallel_line = [l for l in parallel_out.splitlines() if "run(s)" in l]
         assert serial_line == parallel_line
+
+
+class TestFacadeFlags:
+    """The façade-era interface: --isolation / --mode / --engine."""
+
+    def _dump(self, tmp_path, history, name="h.json"):
+        path = tmp_path / name
+        dump_history(history, str(path))
+        return str(path)
+
+    def test_isolation_ser_engine_cobra(self, tmp_path, capsys):
+        path = self._dump(tmp_path, write_skew_history())
+        assert main(["check", path]) == 0                      # SI allows
+        assert main(["check", path, "--isolation", "ser"]) == 1
+        assert main(["check", path, "--isolation", "ser",
+                     "--engine", "naive"]) == 1
+        assert "violates serializability" in capsys.readouterr().out
+
+    def test_isolation_causal(self, tmp_path, capsys):
+        path = self._dump(tmp_path, serializable_history())
+        assert main(["check", path, "--isolation", "causal"]) == 0
+        assert "causal" in capsys.readouterr().out
+
+    def test_mode_online(self, tmp_path, capsys):
+        path = self._dump(tmp_path, long_fork_history())
+        assert main(["check", path, "--mode", "online"]) == 1
+        assert "violates" in capsys.readouterr().out
+
+    def test_mode_parallel_workers(self, tmp_path, capsys):
+        path = self._dump(tmp_path, long_fork_history())
+        assert main(["check", path, "--mode", "parallel",
+                     "--workers", "2", "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "2 worker(s)" in out
+        assert "anomaly class: long fork" in out
+
+    def test_engine_alternatives_agree(self, tmp_path):
+        path = self._dump(tmp_path, long_fork_history())
+        for engine in ("polysi", "cobrasi", "dbcop", "naive"):
+            assert main(["check", path, "--engine", engine]) == 1
+
+    def test_unsupported_combo_exits_two(self, tmp_path, capsys):
+        path = self._dump(tmp_path, serializable_history())
+        assert main(["check", path, "--engine", "cobra"]) == 2
+        err = capsys.readouterr().err
+        assert "nearest supported alternative" in err
+
+    def test_unsupported_option_exits_two(self, tmp_path, capsys):
+        path = self._dump(tmp_path, serializable_history())
+        assert main(["check", path, "--engine", "dbcop",
+                     "--no-prune"]) == 2
+        assert "dbcop" in capsys.readouterr().err
+
+    def test_solve_every_is_ignored_outside_online(self, tmp_path, capsys):
+        """Pre-2.0 scripts passing --solve-every without --stream keep
+        working: the flag is ignored with a note, not a hard error."""
+        path = self._dump(tmp_path, serializable_history())
+        assert main(["check", path, "--solve-every", "8"]) == 0
+        captured = capsys.readouterr()
+        assert "satisfies" in captured.out
+        assert "--solve-every" in captured.err
+
+    def test_stream_alias_maps_to_online(self, tmp_path, capsys):
+        path = self._dump(tmp_path, serializable_history())
+        assert main(["check", path, "--stream"]) == 0
+        captured = capsys.readouterr()
+        assert "satisfies" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_stream_conflicts_with_explicit_mode(self, tmp_path, capsys):
+        path = self._dump(tmp_path, serializable_history())
+        assert main(["check", path, "--stream",
+                     "--mode", "parallel"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_engines_listing(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("polysi", "cobra", "cobrasi", "dbcop", "naive"):
+            assert name in out
+        assert "si: batch, online, parallel, segmented" in out
+
+    def test_engines_verbose_lists_options(self, capsys):
+        assert main(["engines", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "options:" in out
+        assert "max_states" in out
+
+
+class TestExitCodeContract:
+    """Every command honors the documented 0/1/2 contract, and all
+    errors leave through the same stderr path."""
+
+    def test_satisfied_is_zero(self, tmp_path):
+        path = tmp_path / "h.json"
+        dump_history(serializable_history(), str(path))
+        assert main(["check", str(path)]) == 0
+
+    def test_violation_is_one(self, tmp_path):
+        path = tmp_path / "h.json"
+        dump_history(long_fork_history(), str(path))
+        assert main(["check", str(path)]) == 1
+
+    @pytest.mark.parametrize("argv,needle", [
+        (["check", "/nonexistent/h.json"], "error:"),
+        (["collect", "--adapter", "dbapi"], "requires --driver"),
+        (["collect", "--adapter", "dbapi", "--driver", "x"],
+         "requires --dsn"),
+    ])
+    def test_errors_are_two_on_stderr(self, capsys, argv, needle):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert needle in captured.err
+        assert captured.err.startswith("error:") or "note:" in captured.err
+
+    def test_stream_parallel_conflict_is_two(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        dump_history(serializable_history(), str(path))
+        assert main(["check", str(path), "--stream",
+                     "--parallel", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_explain_requires_evidence_mode(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        dump_history(serializable_history(), str(path))
+        assert main(["check", str(path), "--mode", "online",
+                     "--explain"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestAuditAndCorpus:

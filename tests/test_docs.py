@@ -62,6 +62,47 @@ def test_readme_mentions_parallel_and_stream_flags():
         assert flag in readme, f"README quickstart omits {flag!r}"
 
 
+def test_readme_documents_facade_interface():
+    """The façade-era CLI surface must appear in the README: the new
+    check flags, the engines listing, and the api docs page."""
+    readme = _read(os.path.join(REPO_ROOT, "README.md"))
+    for token in ("--isolation", "--mode", "--engine", "repro engines",
+                  "docs/api.md", "repro.check", "Report"):
+        assert token in readme, f"README omits façade surface {token!r}"
+
+
+def test_check_help_flags_documented():
+    """Drift guard over `repro check --help`: every flag the check
+    subcommand advertises must be named somewhere in README or
+    docs/api.md (regenerate the excerpts when flags change)."""
+    parser = _subcommands()["check"]
+    corpus = (
+        _read(os.path.join(REPO_ROOT, "README.md"))
+        + _read(os.path.join(DOCS_DIR, "api.md"))
+    )
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option.startswith("--"):
+                assert option in corpus, (
+                    f"`repro check {option}` is undocumented in "
+                    "README.md/docs/api.md"
+                )
+
+
+def test_api_docs_cover_every_registered_engine():
+    """docs/api.md must name every registered engine and every isolation
+    level (the migration table is regenerated when the registry grows)."""
+    from repro.api import ISOLATION_LEVELS, engine_names
+
+    api_md = _read(os.path.join(DOCS_DIR, "api.md"))
+    for name in engine_names():
+        assert name in api_md, f"docs/api.md omits engine {name!r}"
+    for isolation in ISOLATION_LEVELS:
+        assert f'"{isolation}"' in api_md or f"`{isolation}`" in api_md, (
+            f"docs/api.md omits isolation level {isolation!r}"
+        )
+
+
 def test_collect_docs_linked_from_readme():
     readme = _read(os.path.join(REPO_ROOT, "README.md"))
     assert "docs/architecture.md" in readme
