@@ -35,6 +35,23 @@ def scaled(n: int, minimum: int = 1) -> int:
     return max(minimum, int(round(n * SCALE)))
 
 
+def record_sweep_verdicts(report, sweeps) -> None:
+    """Fold the measured results of ``sweeps`` into ``report``'s verdict
+    counters (si / violation / timeout), so a BENCH_*.json cannot look
+    fast while silently checking wrongly."""
+    for sweep in sweeps:
+        for m in sweep.points.values():
+            if m.timed_out:
+                report.count_verdict("timeout")
+                continue
+            result = m.result
+            ok = (
+                result.satisfies_si
+                if hasattr(result, "satisfies_si") else bool(result)
+            )
+            report.count_verdict("si" if ok else "violation")
+
+
 #: Figure 6/7 base configuration (the paper: 20 sess x 100 txns x 15 ops,
 #: 50% reads, 10k keys, zipfian — scaled for Python).
 BASE = {

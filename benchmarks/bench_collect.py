@@ -26,6 +26,7 @@ import pytest
 
 from _common import scaled
 from repro.bench.harness import render_table
+from repro.bench.results import BenchReport
 from repro.collect import Collector, SQLiteAdapter
 from repro.core.checker import PolySIChecker
 from repro.workloads.generator import WorkloadParams, generate_workload
@@ -74,6 +75,10 @@ def test_collect_throughput(benchmark, sessions):
 
 
 def main():
+    report = BenchReport("collect", config={
+        "session_counts": SESSION_COUNTS, "txns_total": TXNS_TOTAL,
+        "adapter": "sqlite",
+    })
     rows = []
     for sessions in SESSION_COUNTS:
         run, collect_s = collect_once(sessions)
@@ -81,6 +86,13 @@ def main():
         result = _check_si(run.history)
         check_s = time.perf_counter() - start
         assert result.satisfies_si, "SQLite histories must satisfy SI"
+        report.add_point("collect", sessions, seconds=collect_s,
+                         axis="sessions")
+        report.add_point("check", sessions, seconds=check_s, axis="sessions")
+        report.add_point("e2e", sessions, seconds=collect_s + check_s,
+                         axis="sessions")
+        report.count_verdict("si")
+        report.note(f"txn_per_s_{sessions}sessions", round(run.throughput, 1))
         rows.append([
             sessions,
             len(run.history),
@@ -97,6 +109,7 @@ def main():
          "txn/s", "check", "e2e"],
         rows,
     ))
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,8 @@ import os
 
 import pytest
 
-from repro.bench.harness import render_table
+from repro.bench.harness import measure, render_table
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 from repro.interpret import interpret_violation
 from repro.workloads.corpus import ANOMALY_TEMPLATES, known_anomaly_corpus
@@ -60,7 +61,18 @@ def test_corpus_class_checks_fast(benchmark, name):
 
 
 def main():
-    detected, by_class = sweep_corpus(CORPUS_SIZE)
+    m = measure(sweep_corpus, CORPUS_SIZE)
+    detected, by_class = m.result
+    report = BenchReport("corpus", config={
+        "corpus_size": CORPUS_SIZE, "classes": sorted(by_class),
+    })
+    report.add_point("polysi", CORPUS_SIZE, seconds=m.seconds,
+                     peak_mb=m.peak_mb, axis="histories")
+    report.count_verdict("violation", detected)
+    report.count_verdict("si", CORPUS_SIZE - detected)
+    report.note("detection_rate", detected / CORPUS_SIZE if CORPUS_SIZE else 1.0)
+    report.note("histories_per_second",
+                round(CORPUS_SIZE / m.seconds, 1) if m.seconds else None)
     rows = []
     for name in sorted(by_class):
         found, total = by_class[name]
@@ -68,6 +80,7 @@ def main():
     print(f"\nSection 5.2.1: known-anomaly corpus ({CORPUS_SIZE} histories)")
     print(render_table(["anomaly class", "histories", "detected", "rate"], rows))
     print(f"total detected: {detected}/{CORPUS_SIZE}")
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -13,8 +13,9 @@ reduced sizes (``FRACTION`` of the shared workload scale).
 
 import pytest
 
-from _common import scaled
+from _common import record_sweep_verdicts, scaled
 from repro.bench.harness import Sweep, render_series
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 from repro.storage.client import run_workload
 from repro.storage.database import MVCCDatabase
@@ -93,6 +94,13 @@ def main():
         sweeps.append(sweep)
     print("\nFigure 10: differential analysis, time (s), log-scale in the paper")
     print(render_series("workload", WORKLOADS, sweeps, fmt="{:.3f}"))
+    report = BenchReport("fig10", config={
+        "workloads": WORKLOADS, "variants": sorted(VARIANTS),
+        "budget_seconds": BUDGET_SECONDS,
+    })
+    report.add_sweeps(sweeps, axis="workload", xs=WORKLOADS)
+    record_sweep_verdicts(report, sweeps)
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -17,8 +17,9 @@ import random
 
 import pytest
 
-from _common import scaled
+from _common import record_sweep_verdicts, scaled
 from repro.bench.harness import Sweep, measure, render_series
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 from repro.storage.client import run_workload
 from repro.storage.database import MVCCDatabase
@@ -107,6 +108,10 @@ def test_time_grows_roughly_linearly_in_txn_size():
 
 def main():
     checker = PolySIChecker()
+    report = BenchReport("fig11", config={
+        "keys": KEYS, "txns": SESSIONS * TXNS_PER_SESSION,
+        "long_txn_fraction": LONG_TXN_FRACTION,
+    })
     sweep_t = Sweep("PolySI")
     sweep_m = Sweep("PolySI")
     for rp in READ_PROPORTIONS:
@@ -117,6 +122,8 @@ def main():
           f"({SESSIONS * TXNS_PER_SESSION} txns, {KEYS} keys)")
     print(render_series("read%", READ_PROPORTIONS, [sweep_t]))
     print(render_series("read%", READ_PROPORTIONS, [sweep_m], value="peak_mb"))
+    report.add_sweep(sweep_t, axis="read_proportion", xs=READ_PROPORTIONS)
+    record_sweep_verdicts(report, [sweep_t])
 
     sweep_t = Sweep("PolySI")
     sweep_m = Sweep("PolySI")
@@ -127,6 +134,9 @@ def main():
     print("\nFigure 11(c/d): time and memory vs long-transaction size")
     print(render_series("ops/long-txn", LONG_SIZES, [sweep_t]))
     print(render_series("ops/long-txn", LONG_SIZES, [sweep_m], value="peak_mb"))
+    report.add_sweep(sweep_t, axis="ops_per_long_txn", xs=LONG_SIZES)
+    record_sweep_verdicts(report, [sweep_t])
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -10,8 +10,9 @@ import functools
 
 import pytest
 
-from _common import AXES, BASE, scaled
+from _common import AXES, BASE, record_sweep_verdicts, scaled
 from repro.bench.harness import Sweep, render_series
+from repro.bench.results import BenchReport
 from repro.listappend import ListAppendChecker, generate_list_history
 from repro.workloads.generator import WorkloadParams
 
@@ -78,6 +79,7 @@ def test_list_checker_faster_than_register_checker():
 
 
 def main():
+    report = BenchReport("fig15", config={"axes": sorted(AXES)})
     for axis, values in AXES.items():
         sweep = Sweep("PolySI-List")
         for value in values:
@@ -85,6 +87,9 @@ def main():
             sweep.run(value, check, history)
         print(f"\nFigure 15 ({AXIS_IDS[axis][-1]}): PolySI-List time (s) vs {axis}")
         print(render_series(axis, values, [sweep]))
+        report.add_sweep(sweep, axis=axis, xs=values)
+        record_sweep_verdicts(report, [sweep])
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

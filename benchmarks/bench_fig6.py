@@ -14,8 +14,9 @@ this file directly for the paper-style series tables.
 
 import pytest
 
-from _common import AXES, CHECKERS, SWEEP_ORDER, history_for
+from _common import AXES, CHECKERS, SWEEP_ORDER, history_for, record_sweep_verdicts
 from repro.bench.harness import Sweep, render_series
+from repro.bench.results import BenchReport
 
 #: Per-point wall-clock budget, scaled down from the paper's 180 s.
 BUDGET_SECONDS = 60.0
@@ -76,6 +77,10 @@ def test_fig6(benchmark, checker_name, axis, value):
 
 
 def main():
+    report = BenchReport("fig6", config={
+        "axes": sorted(AXES), "budget_seconds": BUDGET_SECONDS,
+        "checkers": sorted(CHECKERS),
+    })
     for axis, values in AXES.items():
         sweeps = []
         for checker_name, check in CHECKERS.items():
@@ -87,6 +92,9 @@ def main():
         print(f"\nFigure 6 ({AXIS_IDS[axis][-1]}): time (s) vs {axis}",
               flush=True)
         print(render_series(axis, values, sweeps), flush=True)
+        report.add_sweeps(sweeps, axis=axis, xs=SWEEP_ORDER[axis])
+        record_sweep_verdicts(report, sweeps)
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

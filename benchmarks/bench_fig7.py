@@ -11,8 +11,9 @@ tracemalloc numbers are for shape comparison, not absolute footprints
 
 import pytest
 
-from _common import AXES, CHECKERS, SWEEP_ORDER, history_for
+from _common import AXES, CHECKERS, SWEEP_ORDER, history_for, record_sweep_verdicts
 from repro.bench.harness import Sweep, measure, render_series
+from repro.bench.results import BenchReport
 
 BUDGET_SECONDS = 90.0  # tracemalloc roughly doubles runtime
 
@@ -62,6 +63,10 @@ def main():
     # discussed in EXPERIMENTS.md.
     skip = {("read_proportion", 0.1, "CobraSI w/ GPU"),
             ("read_proportion", 0.1, "CobraSI w/o GPU")}
+    report = BenchReport("fig7", config={
+        "axes": list(PYTEST_AXES), "budget_seconds": BUDGET_SECONDS,
+        "checkers": sorted(CHECKERS), "value": "peak_mb",
+    })
     for axis in PYTEST_AXES:
         values = AXES[axis]
         sweeps = []
@@ -76,6 +81,9 @@ def main():
         print(f"\nFigure 7: peak memory (MB) vs {axis}", flush=True)
         print(render_series(axis, values, sweeps, value="peak_mb"),
               flush=True)
+        report.add_sweeps(sweeps, axis=axis)
+        record_sweep_verdicts(report, sweeps)
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -10,9 +10,10 @@ inference; memory overheads are comparable.
 
 import pytest
 
-from _common import WORKLOAD_NAMES, workload_history
+from _common import WORKLOAD_NAMES, record_sweep_verdicts, workload_history
 from repro.baselines.cobra import CobraChecker
 from repro.bench.harness import Sweep, measure, render_series
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 
 CHECKERS = {
@@ -47,6 +48,15 @@ def main():
     print(render_series("workload", WORKLOAD_NAMES, time_sweeps))
     print("\nFigure 8(b): peak memory (MB) per benchmark")
     print(render_series("workload", WORKLOAD_NAMES, mem_sweeps, value="peak_mb"))
+    report = BenchReport("fig8", config={
+        "workloads": WORKLOAD_NAMES, "checkers": sorted(CHECKERS),
+        "isolation": "serializable",
+    })
+    # Each time-sweep Measurement already carries peak_mb, so the memory
+    # sweeps (same objects) are not added twice.
+    report.add_sweeps(time_sweeps, axis="workload", xs=WORKLOAD_NAMES)
+    record_sweep_verdicts(report, time_sweeps)
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ import pytest
 
 from _common import WORKLOAD_NAMES, workload_history
 from repro.bench.harness import render_table
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 
 STAGES = ("construct", "prune", "encode", "solve")
@@ -33,6 +34,9 @@ def test_fig9_stages(benchmark, workload):
 
 
 def main():
+    report = BenchReport("fig9", config={
+        "workloads": WORKLOAD_NAMES, "stages": list(STAGES),
+    })
     rows = []
     for workload in WORKLOAD_NAMES:
         timings = stage_times(workload)
@@ -40,8 +44,13 @@ def main():
             [workload] + [f"{timings[stage]:.3f}" for stage in STAGES]
             + [f"{sum(timings.values()):.3f}"]
         )
+        for stage in STAGES:
+            report.add_point(stage, workload, seconds=timings[stage],
+                             axis="workload")
+        report.count_verdict("si")  # stage_times asserts satisfies_si
     print("\nFigure 9: PolySI stage decomposition (seconds)")
     print(render_table(["workload", *STAGES, "total"], rows))
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -48,3 +48,33 @@ def test_interpretation_cheaper_than_checking(benchmark):
     benchmark.extra_info["check_s"] = round(check_time.seconds, 4)
     benchmark.extra_info["interpret_s"] = round(interpret_time.seconds, 4)
     assert interpret_time.seconds < max(0.5, check_time.seconds * 20)
+
+
+def main():
+    from repro.bench.harness import measure, render_table
+    from repro.bench.results import BenchReport
+
+    report = BenchReport("interpret", config={"classes": CYCLIC_CLASSES})
+    rows = []
+    for name in CYCLIC_CLASSES:
+        history = make_anomaly(name, seed=5, padding_txns=10)
+        check_m = measure(_check_si, history)
+        result = check_m.result
+        assert not result.satisfies_si
+        report.count_verdict("violation")
+        interpret_m = measure(
+            lambda: interpret_violation(result).to_dot()
+        )
+        report.add_point("check", name, seconds=check_m.seconds,
+                         peak_mb=check_m.peak_mb, axis="anomaly_class")
+        report.add_point("interpret+dot", name, seconds=interpret_m.seconds,
+                         peak_mb=interpret_m.peak_mb, axis="anomaly_class")
+        rows.append([name, f"{check_m.seconds:.4f}",
+                     f"{interpret_m.seconds:.4f}"])
+    print("\nInterpretation cost next to checking (seconds)")
+    print(render_table(["anomaly class", "check", "interpret+dot"], rows))
+    print(f"results: {report.write()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ import pytest
 
 from _common import scaled
 from repro.bench.harness import render_table
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 from repro.core.history import HistoryBuilder
 from repro.online import OnlineChecker, WindowPolicy
@@ -114,6 +115,10 @@ def test_online_amortized(benchmark, mode):
 
 
 def main():
+    report = BenchReport("online", config={
+        "sessions": SESSIONS, "sizes": SIZES, "modes": sorted(MODES),
+        "seconds_meaning": "amortized per transaction",
+    })
     rows = []
     for size in SIZES:
         txns = stream_txns(size)
@@ -122,6 +127,8 @@ def main():
                      f"rebatch/{REBATCH_STRIDE}"):
             per_txn = MODES[mode](txns)
             cells.append(f"{per_txn * 1000:.2f}")
+            report.add_point(mode, len(txns), seconds=per_txn, axis="txns")
+            report.count_verdict("si")  # the mode runners assert validity
         rows.append(cells)
     print("\nOnline vs repeated-batch checking (amortized ms per txn)")
     print(render_table(
@@ -129,6 +136,7 @@ def main():
          f"rebatch/{REBATCH_STRIDE}"],
         rows,
     ))
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ import pytest
 
 from _common import scaled
 from repro.bench.harness import render_table
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 from repro.core.history import History, Operation
 from repro.parallel import ParallelChecker
@@ -128,13 +129,23 @@ def main(argv=None):
               f"there, so higher worker counts measure the sharding win, "
               f"not extra concurrency")
 
+    report = BenchReport("parallel", config={
+        "groups": GROUPS, "worker_counts": WORKER_COUNTS, "rounds": ROUNDS,
+        "cpus": cpus,
+    })
     serial = serial_seconds(history)
+    report.add_point("serial", len(history), seconds=serial, axis="txns")
+    report.count_verdict("si")
     row = [str(len(history)), f"{serial:.2f}"]
     speedups = {}
     for workers in WORKER_COUNTS:
         seconds = parallel_seconds(history, workers)
         speedups[workers] = serial / seconds if seconds else float("inf")
         row.append(f"{seconds:.2f}")
+        report.add_point(f"{workers}w", len(history), seconds=seconds,
+                         axis="txns")
+        report.count_verdict("si")
+        report.note(f"speedup_{workers}w", round(speedups[workers], 2))
     rows = [row]
 
     headers = ["txns", "serial"] + [f"{w}w" for w in WORKER_COUNTS]
@@ -144,8 +155,10 @@ def main(argv=None):
         f"{w} workers = {speedups[w]:.2f}x" for w in WORKER_COUNTS
     ))
     best = max(speedups.values())
+    report.note("best_speedup", round(best, 2))
     print(f"best speedup: {best:.2f}x "
           f"({'meets' if best >= 1.5 else 'below'} the 1.5x bar)")
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

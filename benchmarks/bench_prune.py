@@ -1,0 +1,197 @@
+"""Incremental batch pruning vs the recompute-per-iteration reference.
+
+The pruning fixpoint (paper Section 4.3, Algorithm 2) is the dominant
+pre-solver cost.  The pre-PR implementation rebuilt the Dep/AntiDep
+adjacency and recomputed the whole SCC-condensed closure of the known
+induced graph on *every* iteration; ``prune_constraints`` now seeds the
+shared incremental closure kernel once and only propagates the edges
+each iteration promotes (``repro.core.pruning.PruneState``).  This bench
+pins both:
+
+- **parity** — identical ``PruneResult`` counters and identical
+  resulting known-edge sets on every corpus (asserted, not printed);
+- **speedup** — wall-clock ratio per corpus, headlined by the
+  *cascade* corpus: a deep resolution chain that resolves exactly one
+  constraint per fixpoint iteration, the shape where per-iteration
+  recomputation hurts most.  The acceptance bar for this repo is >= 2x
+  there (typical machines land far above it); the zipfian workload
+  corpora (2-6 iterations) are reported alongside as the realistic
+  shallow-fixpoint baseline.
+
+Run:  PYTHONPATH=../src python bench_prune.py
+"""
+
+import time
+
+import pytest
+
+from _common import scaled
+from repro.bench.harness import render_table
+from repro.bench.results import BenchReport
+from repro.core.history import HistoryBuilder, R, W
+from repro.core.polygraph import build_polygraph
+from repro.core.pruning import prune_constraints, prune_constraints_recompute
+from repro.workloads.generator import WorkloadParams, generate_history
+
+#: Wall-clock best-of-N to damp scheduler noise.
+ROUNDS = 3
+
+#: The repo's acceptance bar on the deep-fixpoint corpus.
+SPEEDUP_BAR = 2.0
+
+
+def cascade_history(pairs: int):
+    """A resolution cascade: exactly one constraint resolves per fixpoint
+    iteration, so pruning takes ``pairs + 1`` iterations.
+
+    Writers ``A_i`` and ``B_i`` race on key ``k_i``; reader ``R_i``
+    observes ``k_i`` from ``A_i`` and a marker written by ``A_{i+1}``.
+    Resolving pair ``i`` (to ``A_i`` before ``B_i``) promotes the
+    anti-dependency ``R_i -> B_i``, which composes with the marker WR
+    edge into the *only* path ``A_{i+1} ~> B_{i+1}`` — so pair ``i+1``
+    becomes resolvable one iteration later, and so on down the chain.
+    Pair 1 is seeded by a read-modify-write.
+    """
+    b = HistoryBuilder()
+    for i in range(pairs):
+        ops = [W(f"k{i}", f"a{i}")]
+        if i > 0:
+            ops.append(W(f"m{i - 1}", f"mark{i - 1}"))
+        b.txn(1 + i, ops)                       # A_i, one session each
+    for i in range(pairs):
+        ops = [R(f"k{i}", f"a{i}")]
+        if i + 1 < pairs:
+            ops.append(R(f"m{i}", f"mark{i}"))
+        b.txn(1 + pairs + i, ops)               # R_i, one session each
+    b.txn(0, [R("k0", "a0"), W("k0", "b0")])    # B_1: the RMW seed
+    for i in range(1, pairs):
+        b.txn(0, [W(f"k{i}", f"b{i}")])         # B chain, session 0
+    return b.build()
+
+
+def workload_history(read_proportion: float, seed: int = 1):
+    params = WorkloadParams(
+        sessions=scaled(8),
+        txns_per_session=scaled(60),
+        ops_per_txn=scaled(8),
+        read_proportion=read_proportion,
+        keys=scaled(500),
+        distribution="zipfian",
+    )
+    return generate_history(params, seed=seed).history
+
+
+CORPORA = {
+    "cascade": lambda: cascade_history(scaled(48, minimum=8)),
+    "zipfian-RW": lambda: workload_history(0.5),
+    "zipfian-WH": lambda: workload_history(0.3),
+}
+
+VARIANTS = {
+    "recompute": prune_constraints_recompute,
+    "incremental": prune_constraints,
+}
+
+
+def assert_parity(history):
+    """Both fixpoints must produce identical counters and known edges."""
+    g_old, v1 = build_polygraph(history)
+    g_new, v2 = build_polygraph(history)
+    assert not v1 and not v2
+    r_old = prune_constraints_recompute(g_old)
+    r_new = prune_constraints(g_new)
+    assert r_old.as_dict() == r_new.as_dict(), (
+        r_old.as_dict(), r_new.as_dict()
+    )
+    assert sorted(map(str, g_old.known_edges)) == sorted(
+        map(str, g_new.known_edges)
+    )
+    return r_new
+
+
+def best_of(fn, history) -> tuple:
+    """(best seconds, last PruneResult) over ROUNDS fresh polygraphs."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        graph, _violations = build_polygraph(history)
+        start = time.perf_counter()
+        result = fn(graph)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_prune_variants(benchmark, corpus, variant):
+    history = CORPORA[corpus]()
+    seconds, result = benchmark.pedantic(
+        best_of, args=(VARIANTS[variant], history), rounds=1, iterations=1
+    )
+    assert result.ok
+    benchmark.extra_info["seconds"] = round(seconds, 4)
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+def test_prune_parity(corpus):
+    assert_parity(CORPORA[corpus]())
+
+
+def test_cascade_is_prune_heavy():
+    """The headline corpus must actually exercise a deep fixpoint."""
+    result = assert_parity(cascade_history(16))
+    assert result.iterations >= 3
+    assert result.constraints_after == 0
+
+
+def main():
+    report = BenchReport("prune", config={
+        "rounds": ROUNDS,
+        "corpora": sorted(CORPORA),
+        "speedup_bar": SPEEDUP_BAR,
+    })
+    rows = []
+    speedups = {}
+    for corpus, make in CORPORA.items():
+        history = make()
+        parity = assert_parity(history)
+        report.count_verdict("prune_ok" if parity.ok else "prune_violation")
+        timings = {}
+        for variant, fn in VARIANTS.items():
+            seconds, result = best_of(fn, history)
+            timings[variant] = seconds
+            report.add_point(variant, corpus, seconds=seconds, axis="corpus")
+        speedup = timings["recompute"] / timings["incremental"]
+        speedups[corpus] = speedup
+        report.note(f"speedup_{corpus}", round(speedup, 2))
+        rows.append([
+            corpus,
+            len(history),
+            parity.iterations,
+            parity.pruned,
+            f"{timings['recompute']:.3f}",
+            f"{timings['incremental']:.3f}",
+            f"{speedup:.2f}x",
+        ])
+    report.note("speedup_bar_met", speedups["cascade"] >= SPEEDUP_BAR)
+    report.note("parity", "ok")
+
+    print("\nIncremental vs recompute-per-iteration pruning "
+          f"(best of {ROUNDS}, seconds)")
+    print(render_table(
+        ["corpus", "txns", "iters", "pruned", "recompute", "incremental",
+         "speedup"],
+        rows,
+    ))
+    print("\nparity: identical PruneResult counters and known-edge sets "
+          "on every corpus")
+    bar = "meets" if speedups["cascade"] >= SPEEDUP_BAR else "below"
+    print(f"cascade speedup: {speedups['cascade']:.2f}x "
+          f"({bar} the {SPEEDUP_BAR:.0f}x bar)")
+    path = report.write()
+    print(f"results: {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,8 +14,9 @@ import functools
 
 import pytest
 
-from _common import scaled
+from _common import record_sweep_verdicts, scaled
 from repro.bench.harness import Sweep, render_series
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 from repro.extensions import check_segmented, run_segmented_workload
 from repro.storage.database import MVCCDatabase
@@ -85,6 +86,14 @@ def main():
     print(render_series(
         "txns/session", TXNS_PER_SESSION, [whole_sweep, seg_sweep]
     ))
+    report = BenchReport("segmented", config={
+        "snapshot_every": SNAPSHOT_EVERY, "sessions": SESSIONS,
+        "txns_per_session": TXNS_PER_SESSION,
+    })
+    report.add_sweeps([whole_sweep, seg_sweep], axis="txns_per_session",
+                      xs=TXNS_PER_SESSION)
+    record_sweep_verdicts(report, [whole_sweep, seg_sweep])
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -112,3 +112,38 @@ def test_closure_kernels(benchmark, kernel):
     for u, v in edges:
         adj[u].append(v)
     benchmark.pedantic(KERNELS[kernel], args=(n, adj), rounds=3, iterations=1)
+
+
+def main():
+    from repro.bench.harness import measure, render_table
+    from repro.bench.results import BenchReport
+
+    report = BenchReport("solver", config={
+        "cnf_vars": 60, "dag": "20x25 layered", "closure_dag": "15x20 layered",
+    })
+    rows = []
+    for label, ratio in [("easy-sat", 3.0), ("phase-transition", 4.26),
+                         ("easy-unsat", 5.0)]:
+        clauses = random_3sat(60, int(60 * ratio), seed=7)
+        m = measure(solve_cnf, 60, clauses)
+        report.add_point("cdcl-3sat", label, seconds=m.seconds,
+                         peak_mb=m.peak_mb, axis="ratio")
+        rows.append([f"cdcl-3sat/{label}", f"{m.seconds:.4f}"])
+
+    n, edges = build_layered_dag(15, 20, seed=9)
+    adj = [[] for _ in range(n)]
+    for u, v in edges:
+        adj[u].append(v)
+    for kernel, fn in KERNELS.items():
+        m = measure(fn, n, adj)
+        report.add_point("closure", kernel, seconds=m.seconds,
+                         peak_mb=m.peak_mb, axis="kernel")
+        rows.append([f"closure/{kernel}", f"{m.seconds:.4f}"])
+
+    print("\nSolver-substrate micro-benchmarks (seconds)")
+    print(render_table(["case", "seconds"], rows))
+    print(f"results: {report.write()}")
+
+
+if __name__ == "__main__":
+    main()

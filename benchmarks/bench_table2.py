@@ -13,7 +13,8 @@ interpretation algorithm.  The reproduced claims:
 
 import pytest
 
-from repro.bench.harness import render_table
+from repro.bench.harness import measure, render_table
+from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
 from repro.interpret import interpret_violation
 from repro.storage.faults import DATABASE_PROFILES
@@ -68,14 +69,24 @@ def test_galera_analog_shows_lost_update():
 
 
 def main():
+    report = BenchReport("table2", config={
+        "profiles": sorted(DATABASE_PROFILES), "max_seeds": MAX_SEEDS,
+    })
     rows = []
     for profile in sorted(DATABASE_PROFILES):
         info = DATABASE_PROFILES[profile]
-        seeds, result = find_violation(profile)
+        m = measure(find_violation, profile)
+        seeds, result = m.result
+        report.add_point("find_violation", profile, seconds=m.seconds,
+                         peak_mb=m.peak_mb, axis="profile")
         if result is None:
             rows.append([profile, info["kind"], info["release"], "none", "-"])
+            report.count_verdict("none_found")
             continue
         example = interpret_violation(result)
+        report.count_verdict("violation")
+        report.note(f"anomaly_{profile}", example.classification)
+        report.note(f"runs_until_violation_{profile}", seeds)
         rows.append([
             profile,
             info["kind"],
@@ -88,6 +99,7 @@ def main():
         ["database (simulated)", "kind", "release", "violation found", "after"],
         rows,
     ))
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,8 @@ write-heavy general workloads retain the most.
 import pytest
 
 from _common import WORKLOAD_NAMES, workload_history
-from repro.bench.harness import render_table
+from repro.bench.harness import measure, render_table
+from repro.bench.results import BenchReport
 from repro.core.polygraph import build_polygraph
 from repro.core.pruning import prune_constraints
 
@@ -48,9 +49,17 @@ def test_write_heavy_retains_most_constraints():
 
 
 def main():
+    report = BenchReport("table3", config={"workloads": WORKLOAD_NAMES})
     rows = []
     for workload in WORKLOAD_NAMES:
-        stats = pruning_stats(workload)
+        m = measure(pruning_stats, workload)
+        stats = m.result
+        report.add_point("prune", workload, seconds=m.seconds,
+                         peak_mb=m.peak_mb, axis="workload")
+        report.count_verdict("prune_ok" if stats["ok"] else "prune_violation")
+        for key in ("constraints_before", "constraints_after",
+                    "unknown_deps_before", "unknown_deps_after"):
+            report.note(f"{key}_{workload}", stats[key])
         rows.append([
             workload,
             stats["constraints_before"],
@@ -64,6 +73,7 @@ def main():
          "#unk dep before", "#unk dep after"],
         rows,
     ))
+    print(f"results: {report.write()}")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,26 @@
-"""Measurement harness for regenerating the paper's tables and figures."""
+"""Measurement harness for regenerating the paper's tables and figures,
+plus the machine-readable ``BENCH_*.json`` results writer that gives the
+repo its cross-PR perf trajectory (see ``docs/benchmarks.md``)."""
 
-from .harness import Measurement, Sweep, measure, render_series, render_table
+from .harness import (
+    BUDGET_EXCEPTIONS,
+    Measurement,
+    Sweep,
+    measure,
+    render_series,
+    render_table,
+)
+from .results import SCHEMA, BenchReport, load_report, validate_payload
 
-__all__ = ["Measurement", "Sweep", "measure", "render_series", "render_table"]
+__all__ = [
+    "BUDGET_EXCEPTIONS",
+    "Measurement",
+    "Sweep",
+    "measure",
+    "render_series",
+    "render_table",
+    "SCHEMA",
+    "BenchReport",
+    "load_report",
+    "validate_payload",
+]

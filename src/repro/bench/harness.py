@@ -12,24 +12,37 @@ import time
 import tracemalloc
 from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["Measurement", "measure", "Sweep", "render_table", "render_series"]
+__all__ = [
+    "BUDGET_EXCEPTIONS",
+    "Measurement",
+    "measure",
+    "Sweep",
+    "render_table",
+    "render_series",
+]
 
 
 class Measurement:
-    """One measured run: wall time, peak memory, and the callable's result."""
+    """One measured run: wall time, peak memory, and the callable's result.
 
-    __slots__ = ("seconds", "peak_mb", "result", "timed_out")
+    ``error`` names the budget-style exception class that produced a
+    timed-out point (None for clean runs and budget-skipped points).
+    """
+
+    __slots__ = ("seconds", "peak_mb", "result", "timed_out", "error")
 
     def __init__(self, seconds: float, peak_mb: float, result,
-                 timed_out: bool = False):
+                 timed_out: bool = False, error: Optional[str] = None):
         self.seconds = seconds
         self.peak_mb = peak_mb
         self.result = result
         self.timed_out = timed_out
+        self.error = error
 
     def __repr__(self) -> str:
         if self.timed_out:
-            return "Measurement(TIMEOUT)"
+            suffix = f": {self.error}" if self.error else ""
+            return f"Measurement(TIMEOUT{suffix})"
         return f"Measurement({self.seconds:.3f}s, {self.peak_mb:.1f}MB)"
 
 
@@ -39,18 +52,43 @@ def measure(fn: Callable, *args, trace_memory: bool = True, **kwargs) -> Measure
     tracemalloc adds overhead (~2x on allocation-heavy code); memory
     numbers are for *shape* comparison, as in Figure 7, not absolute
     footprints.
+
+    Tracing is stopped in a ``finally`` block: a raising callable must
+    not leak a running tracemalloc session, or the next ``measure`` call
+    would nest ``tracemalloc.start()`` and inflate every later
+    peak-memory number in the sweep.
     """
     if trace_memory:
         tracemalloc.start()
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    seconds = time.perf_counter() - start
-    peak_mb = 0.0
-    if trace_memory:
-        _current, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-        peak_mb = peak / (1024 * 1024)
+    try:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        seconds = time.perf_counter() - start
+    finally:
+        peak_mb = 0.0
+        if trace_memory:
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            peak_mb = peak / (1024 * 1024)
     return Measurement(seconds, peak_mb, result)
+
+
+def _budget_exceptions() -> tuple:
+    """Exception classes that mean "the run outgrew its budget" rather
+    than "the code is broken".  dbcop's state-budget error is optional so
+    the harness stays importable without the baselines package."""
+    classes = [TimeoutError, MemoryError, RecursionError]
+    try:
+        from ..baselines.dbcop import DbcopBudgetExceeded
+        classes.append(DbcopBudgetExceeded)
+    except ImportError:  # pragma: no cover - baselines always ship
+        pass
+    return tuple(classes)
+
+
+#: Budget-style failures recorded as timeouts by :meth:`Sweep.run`; any
+#: other exception (a genuine bug in the measured callable) propagates.
+BUDGET_EXCEPTIONS = _budget_exceptions()
 
 
 class Sweep:
@@ -68,16 +106,25 @@ class Sweep:
         self._exceeded = False
 
     def run(self, x, fn: Callable, *args, **kwargs) -> Optional[Measurement]:
-        """Measure point ``x``; skips the rest once the budget is blown."""
+        """Measure point ``x``; skips the rest once the budget is blown.
+
+        Only budget-style failures (:data:`BUDGET_EXCEPTIONS` — time or
+        state budgets, memory, recursion depth) are recorded as
+        timeouts, with the exception's class name on the point.
+        Programming errors (a ``TypeError`` in a checker, say) propagate
+        instead of silently reading as "budget exceeded" and killing the
+        rest of the sweep.
+        """
         if self._exceeded:
             self.points[x] = Measurement(float("nan"), float("nan"), None, True)
             return None
         try:
             m = measure(fn, *args, **kwargs)
-        except Exception:
-            # Budget-style failures (e.g. dbcop state explosion) count as
-            # time-outs, matching the paper's presentation.
-            self.points[x] = Measurement(float("nan"), float("nan"), None, True)
+        except BUDGET_EXCEPTIONS as exc:
+            # e.g. dbcop state explosion: counts as a time-out, matching
+            # the paper's presentation.
+            self.points[x] = Measurement(float("nan"), float("nan"), None,
+                                         True, error=type(exc).__name__)
             self._exceeded = True
             return None
         self.points[x] = m

@@ -1,0 +1,217 @@
+"""Machine-readable benchmark results (the cross-PR perf trajectory).
+
+Every ``benchmarks/bench_*.py`` writes a ``BENCH_<name>.json`` next to
+its table output so speedups (and regressions) are comparable *across
+PRs* instead of living only in scrollback.  The schema is stable and
+validated (see :func:`validate_payload`; documented in
+``docs/benchmarks.md``):
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "bench": "prune",
+      "scale": 1.0,
+      "config": {"corpus": "cascade", "rounds": 3},
+      "points": [
+        {"series": "incremental", "axis": "txns", "x": 192,
+         "seconds": 0.004, "peak_mb": 1.2, "timed_out": false,
+         "error": null}
+      ],
+      "verdicts": {"si": 3, "violation": 0},
+      "derived": {"speedup": 9.4}
+    }
+
+``points`` is the flat, per-measurement record (one row per series per
+x); ``verdicts`` counts checker outcomes so a silently-wrong benchmark
+cannot masquerade as a fast one; ``derived`` holds the benchmark's own
+headline numbers (speedups, throughput).  ``scale`` echoes
+``REPRO_BENCH_SCALE`` so trajectories only compare like with like.
+
+Output directory: ``REPRO_BENCH_OUT`` if set, else the current working
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SCHEMA", "BenchReport", "validate_payload", "load_report"]
+
+SCHEMA = "repro-bench/1"
+
+_POINT_KEYS = {"series", "axis", "x", "seconds", "peak_mb", "timed_out",
+               "error"}
+
+
+def _clean(value: Optional[float]) -> Optional[float]:
+    """JSON has no NaN/inf; timed-out measurements carry NaN seconds."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        return None
+    return value
+
+
+class BenchReport:
+    """Accumulates one benchmark's points and writes ``BENCH_<name>.json``."""
+
+    def __init__(self, name: str, *, config: Optional[dict] = None,
+                 scale: Optional[float] = None):
+        self.name = name
+        self.config = dict(config or {})
+        self.scale = (
+            float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+            if scale is None else float(scale)
+        )
+        self.points: List[dict] = []
+        self.verdicts: Dict[str, int] = {}
+        self.derived: Dict[str, object] = {}
+
+    # -- accumulation ---------------------------------------------------------
+
+    def add_point(
+        self,
+        series: str,
+        x,
+        *,
+        seconds: Optional[float] = None,
+        peak_mb: Optional[float] = None,
+        timed_out: bool = False,
+        error: Optional[str] = None,
+        axis: Optional[str] = None,
+    ) -> None:
+        """Record one measurement of ``series`` at sweep position ``x``."""
+        self.points.append({
+            "series": str(series),
+            "axis": axis,
+            "x": x,
+            "seconds": _clean(seconds),
+            "peak_mb": _clean(peak_mb),
+            "timed_out": bool(timed_out),
+            "error": error,
+        })
+
+    def add_measurement(self, series: str, x, measurement, *,
+                        axis: Optional[str] = None) -> None:
+        """Record a :class:`repro.bench.harness.Measurement`."""
+        self.add_point(
+            series, x,
+            seconds=measurement.seconds,
+            peak_mb=measurement.peak_mb,
+            timed_out=measurement.timed_out,
+            error=getattr(measurement, "error", None),
+            axis=axis,
+        )
+
+    def add_sweep(self, sweep, *, axis: Optional[str] = None,
+                  xs: Optional[Sequence] = None) -> None:
+        """Record every point of a :class:`repro.bench.harness.Sweep`
+        (``xs`` optionally fixes the order and subset)."""
+        keys = list(sweep.points) if xs is None else list(xs)
+        for x in keys:
+            m = sweep.points.get(x)
+            if m is not None:
+                self.add_measurement(sweep.name, x, m, axis=axis)
+
+    def add_sweeps(self, sweeps: Sequence, *, axis: Optional[str] = None,
+                   xs: Optional[Sequence] = None) -> None:
+        """Record every point of several sweeps (one series each)."""
+        for sweep in sweeps:
+            self.add_sweep(sweep, axis=axis, xs=xs)
+
+    def count_verdict(self, verdict: str, n: int = 1) -> None:
+        """Bump a verdict counter (e.g. ``si`` / ``violation``)."""
+        self.verdicts[verdict] = self.verdicts.get(verdict, 0) + n
+
+    def note(self, key: str, value) -> None:
+        """Record a derived headline number (speedup, throughput, ...)."""
+        self.derived[key] = value
+
+    # -- output ---------------------------------------------------------------
+
+    def payload(self) -> dict:
+        """The full report as a schema-shaped plain dict."""
+        return {
+            "schema": SCHEMA,
+            "bench": self.name,
+            "scale": self.scale,
+            "config": self.config,
+            "points": self.points,
+            "verdicts": self.verdicts,
+            "derived": self.derived,
+        }
+
+    def write(self, directory: Optional[str] = None) -> str:
+        """Validate and write ``BENCH_<name>.json``; returns the path."""
+        payload = self.payload()
+        validate_payload(payload)
+        directory = directory or os.environ.get("REPRO_BENCH_OUT") or "."
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{self.name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def validate_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a schema-valid report."""
+    def fail(msg: str):
+        raise ValueError(f"invalid bench report: {msg}")
+
+    if not isinstance(payload, dict):
+        fail("not an object")
+    missing = {"schema", "bench", "scale", "config", "points",
+               "verdicts", "derived"} - set(payload)
+    if missing:
+        fail(f"missing keys {sorted(missing)}")
+    if payload["schema"] != SCHEMA:
+        fail(f"schema {payload['schema']!r} != {SCHEMA!r}")
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        fail("bench must be a non-empty string")
+    if not isinstance(payload["scale"], (int, float)):
+        fail("scale must be a number")
+    if not isinstance(payload["config"], dict):
+        fail("config must be an object")
+    if not isinstance(payload["points"], list):
+        fail("points must be an array")
+    for i, point in enumerate(payload["points"]):
+        if not isinstance(point, dict) or set(point) != _POINT_KEYS:
+            fail(f"point {i} keys {sorted(point)} != {sorted(_POINT_KEYS)}")
+        if not isinstance(point["series"], str):
+            fail(f"point {i} series must be a string")
+        if point["axis"] is not None and not isinstance(point["axis"], str):
+            fail(f"point {i} axis must be a string or null")
+        for field in ("seconds", "peak_mb"):
+            value = point[field]
+            if value is not None and (
+                not isinstance(value, (int, float))
+                or math.isnan(value) or math.isinf(value) or value < 0
+            ):
+                fail(f"point {i} {field} must be a finite number >= 0 or null")
+        if not isinstance(point["timed_out"], bool):
+            fail(f"point {i} timed_out must be a bool")
+        if point["error"] is not None and not isinstance(point["error"], str):
+            fail(f"point {i} error must be a string or null")
+        if not point["timed_out"] and point["seconds"] is None:
+            fail(f"point {i} has neither a timing nor a timeout")
+    if not isinstance(payload["verdicts"], dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v >= 0
+        for k, v in payload["verdicts"].items()
+    ):
+        fail("verdicts must map strings to counts")
+    if not isinstance(payload["derived"], dict):
+        fail("derived must be an object")
+
+
+def load_report(path: str) -> dict:
+    """Read and validate a ``BENCH_*.json`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    validate_payload(payload)
+    return payload

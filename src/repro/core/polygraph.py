@@ -103,11 +103,15 @@ class GeneralizedPolygraph:
 
     # -- mutation -------------------------------------------------------------
 
-    def add_known(self, edge: Edge) -> None:
-        """Add a known (certain) edge, deduplicating repeats."""
-        if edge not in self._known_set:
-            self._known_set.add(edge)
-            self.known_edges.append(edge)
+    def add_known(self, edge: Edge) -> bool:
+        """Add a known (certain) edge, deduplicating repeats; returns
+        whether the edge was actually new (callers maintaining derived
+        state, e.g. :class:`repro.core.pruning.PruneState`, key off it)."""
+        if edge in self._known_set:
+            return False
+        self._known_set.add(edge)
+        self.known_edges.append(edge)
+        return True
 
     def add_known_many(self, edges: Sequence[Edge]) -> None:
         for edge in edges:

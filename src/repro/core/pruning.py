@@ -16,26 +16,41 @@ history violates SI and a concrete witness cycle is reconstructed for the
 interpretation stage.  The process iterates to a fixpoint: newly-known
 edges enable further pruning.
 
-Reachability of the known induced graph ``KI = Dep ∪ (Dep ; AntiDep)`` is
-recomputed once per iteration with an exact SCC-condensed bitset closure
-(the paper uses Floyd-Warshall; see ``repro.utils.reachability``).
+Reachability of the known induced graph ``KI = Dep ∪ (Dep ; AntiDep)``
+is maintained *incrementally* across iterations: iteration 1 seeds the
+shared closure kernel (:class:`repro.utils.closure.IncrementalClosure`)
+from one exact SCC-condensed bitset closure (the paper uses
+Floyd-Warshall; see ``repro.utils.reachability``), and every later
+iteration only propagates the edges the previous iteration promoted to
+known — the same maintenance the online checker performs per
+transaction.  :class:`PruneState` carries the closure plus the Dep /
+AntiDep adjacency and immediate Dep-predecessor lists, all updated in
+place as :func:`apply_decisions` resolves constraints, so nothing is
+rebuilt from scratch after iteration 1.  This is sound in batch mode
+because edges are only ever *added* (no eviction): the incrementally
+maintained rows equal what a recompute over the current known edges
+would produce, which :func:`prune_constraints_recompute` — the pre-PR
+reference implementation — pins differentially in the tests.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..utils.closure import IncrementalClosure
 from ..utils.reachability import Reachability, transitive_closure_bits
 from .polygraph import Constraint, Edge, GeneralizedPolygraph, RW, WW, DEP_LABELS
 
 __all__ = [
     "PruneResult",
+    "PruneState",
     "branch_impossible",
     "classify_constraints",
     "apply_decisions",
     "prune_iteration_state",
     "prune_constraints",
+    "prune_constraints_recompute",
     "find_known_cycle",
 ]
 
@@ -113,10 +128,123 @@ def _dep_predecessors(dep: List[set]) -> List[List[int]]:
     return preds
 
 
+class PruneState:
+    """Incrementally-maintained classification state for the fixpoint.
+
+    Bundles everything one pruning iteration classifies against — the
+    reachability closure of the known induced graph ``KI`` plus the
+    pair-level Dep / AntiDep / KI adjacency and immediate
+    Dep-predecessor sets — and keeps all of it current as edges are
+    promoted, instead of rebuilding per iteration:
+
+    - construction pays for one batch closure (any
+      :mod:`repro.utils.reachability` kernel) and wraps its rows into
+      the shared :class:`~repro.utils.closure.IncrementalClosure`;
+    - :meth:`add_known` installs a newly-promoted typed edge into the
+      graph and the pair-level adjacency (cheap set unions) and queues
+      the pair;
+    - reading :attr:`reach` flushes the queued delta into the closure,
+      *adaptively*.  A small delta (the typical late fixpoint
+      iteration) expands each queued pair into its induced
+      consequences — a Dep edge ``u -> v`` contributes KI edges
+      ``u -> v`` and ``u -> w`` for every AntiDep successor ``w`` of
+      ``v``; an AntiDep edge ``u -> v`` contributes ``p -> v`` for
+      every Dep predecessor ``p`` of ``u``, exactly the maintenance the
+      online checker's ``_add_known`` performs per arriving
+      transaction — and propagates them through
+      :meth:`~repro.utils.closure.IncrementalClosure.insert`.  A large
+      delta (typically iteration 1 resolving most constraints at once)
+      instead reseeds the closure with one batch kernel run over the
+      induced adjacency of the maintained Dep/AntiDep sets — never more
+      expensive than the per-iteration recompute it replaces, because
+      those sets are already current.
+
+    Eviction-free batch mode is what makes carrying the rows across
+    iterations sound: edges are only ever added, so the incremental rows
+    always equal a from-scratch closure of the current known edges (a
+    cyclic insertion leaves the cycle's members self-reaching, matching
+    the SCC-condensed kernel).
+    """
+
+    __slots__ = ("graph", "dep", "antidep", "dep_preds",
+                 "_closure", "_reach", "_pending")
+
+    def __init__(
+        self,
+        graph: GeneralizedPolygraph,
+        *,
+        closure: Callable[[int, List[set]], Reachability] = transitive_closure_bits,
+    ):
+        self.graph = graph
+        dep, antidep = _known_adjacency(graph)
+        self.dep = dep
+        self.antidep = antidep
+        self.dep_preds: List[set] = [set() for _ in range(graph.num_vertices)]
+        for u, succs in enumerate(dep):
+            for v in succs:
+                self.dep_preds[v].add(u)
+        self._closure = closure
+        base = closure(graph.num_vertices, _induced_adjacency(dep, antidep))
+        self._reach = IncrementalClosure.from_rows(base.rows)
+        #: Newly-promoted (src, dst, is_antidep) pairs not yet in the
+        #: closure; pair-level deduplicated by :meth:`add_known`.
+        self._pending: List[Tuple[int, int, bool]] = []
+
+    @property
+    def reach(self) -> IncrementalClosure:
+        """The KI closure, with any queued delta flushed in."""
+        if self._pending:
+            self._flush()
+        return self._reach
+
+    def _flush(self) -> None:
+        pending, self._pending = self._pending, []
+        n = self.graph.num_vertices
+        if len(pending) > max(16, n // 8):
+            # Large delta: one bulk reseed over the maintained adjacency
+            # costs what a single old-style recompute iteration did.
+            ki = _induced_adjacency(self.dep, self.antidep)
+            base = self._closure(n, ki)
+            self._reach = IncrementalClosure.from_rows(base.rows)
+            return
+        # Small delta: expand each promoted pair into its induced
+        # consequences against the *current* adjacency (a superset of
+        # what was current at promotion time — monotone, and insert()
+        # dedups already-implied edges in O(1)).
+        insert = self._reach.insert
+        for u, v, is_antidep in pending:
+            if is_antidep:
+                for prec in self.dep_preds[u]:
+                    insert(prec, v)
+            else:
+                insert(u, v)
+                for w in self.antidep[v]:
+                    insert(u, w)
+
+    def add_known(self, edge: Edge) -> None:
+        """Promote one typed edge: into the graph, the pair-level
+        adjacency, and the (queued) incremental KI closure."""
+        if not self.graph.add_known(edge):
+            return
+        u, v, label, _key = edge
+        if label == RW:
+            if v not in self.antidep[u]:
+                self.antidep[u].add(v)
+                self._pending.append((u, v, True))
+        elif v not in self.dep[u]:
+            self.dep[u].add(v)
+            self.dep_preds[v].add(u)
+            self._pending.append((u, v, False))
+
+    def add_known_many(self, edges: Sequence[Edge]) -> None:
+        for edge in edges:
+            self.add_known(edge)
+
+
 def branch_impossible(
     edges: Tuple[Edge, ...],
     reach: Reachability,
-    dep_preds: List[List[int]],
+    dep_preds: Sequence,
 ) -> bool:
     """The paper's two impossibility rules (Section 4.3, Figure 4).
 
@@ -144,8 +272,13 @@ def prune_iteration_state(
 ) -> Tuple[Reachability, List[List[int]]]:
     """The read-only state one pruning iteration classifies against:
     reachability of the known induced graph plus the immediate
-    Dep-predecessor lists.  Computed once per iteration and never
-    mutated during it, which is what makes classification shardable."""
+    Dep-predecessor lists, rebuilt from scratch.  Never mutated during
+    an iteration, which is what makes classification shardable.  The
+    incremental fixpoint carries the same state forward in a
+    :class:`PruneState` instead; this from-scratch variant backs the
+    :func:`prune_constraints_recompute` reference path and
+    :func:`repro.core.checker.static_induced_cycle`-style one-shot
+    queries."""
     dep, antidep = _known_adjacency(graph)
     ki = _induced_adjacency(dep, antidep)
     reach = closure(graph.num_vertices, ki)
@@ -177,9 +310,18 @@ def apply_decisions(
     graph: GeneralizedPolygraph,
     decisions: List[Tuple[bool, bool]],
     result: PruneResult,
+    state: Optional[PruneState] = None,
 ) -> bool:
     """Apply one iteration's classification to ``graph`` in constraint
     order; returns whether anything was resolved.
+
+    With a :class:`PruneState`, promoted edges go through
+    :meth:`PruneState.add_known`, so the closure and adjacency are
+    maintained in place for the next iteration; without one (the
+    recompute reference path) they land on the graph directly.
+    Decisions were classified against the state frozen at iteration
+    start, so mutating the closure mid-application cannot change them —
+    the two paths resolve identical constraints.
 
     On the first constraint with both branches impossible, ``result`` is
     marked violating (with a reconstructed witness cycle) and the
@@ -187,6 +329,7 @@ def apply_decisions(
     so serial and sharded pruning produce identical graphs, counters,
     and witnesses.
     """
+    promote = graph.add_known_many if state is None else state.add_known_many
     remaining: List[Constraint] = []
     changed = False
     for cons, (either_bad, orelse_bad) in zip(graph.constraints, decisions):
@@ -196,11 +339,11 @@ def apply_decisions(
             result.violation_cycle = _violation_cycle(graph, cons)
             return changed
         if either_bad:
-            graph.add_known_many(cons.orelse)
+            promote(cons.orelse)
             result.pruned += 1
             changed = True
         elif orelse_bad:
-            graph.add_known_many(cons.either)
+            promote(cons.either)
             result.pruned += 1
             changed = True
         else:
@@ -216,11 +359,51 @@ def prune_constraints(
 ) -> PruneResult:
     """Prune ``graph`` in place until no more constraints can be resolved.
 
+    Incremental fixpoint: one :class:`PruneState` (a single batch
+    closure, wrapped into the shared incremental kernel) is built up
+    front, and every iteration after the first only pays for the edges
+    the previous one promoted — identical decisions, counters, and
+    witnesses to :func:`prune_constraints_recompute`, without the
+    per-iteration closure rebuild.
+
     Returns a :class:`PruneResult`; ``result.ok`` is False when some
     constraint has *both* branches impossible, i.e. the history violates
     SI.  ``result.violation_cycle`` then carries one concrete undesired
     cycle (the impossible either-branch edge closed against the known
     graph), ready for the interpretation algorithm.
+    """
+    result = PruneResult()
+    result.constraints_before = graph.num_constraints
+    result.unknown_deps_before = graph.num_unknown_deps
+
+    state = PruneState(graph, closure=closure)
+    while True:
+        result.iterations += 1
+        decisions = classify_constraints(
+            graph.constraints, state.reach, state.dep_preds
+        )
+        changed = apply_decisions(graph, decisions, result, state=state)
+        if not result.ok or not changed:
+            break
+
+    result.constraints_after = graph.num_constraints
+    result.unknown_deps_after = graph.num_unknown_deps
+    return result
+
+
+def prune_constraints_recompute(
+    graph: GeneralizedPolygraph,
+    *,
+    closure: Callable[[int, List[set]], Reachability] = transitive_closure_bits,
+) -> PruneResult:
+    """The recompute-per-iteration reference fixpoint.
+
+    Rebuilds the adjacency, Dep-predecessor lists, and the whole KI
+    closure from ``graph.known_edges`` at the top of every iteration —
+    the pre-incremental implementation, kept as the differential
+    baseline (``tests/test_pruning_incremental.py`` pins
+    :func:`prune_constraints` against it over the workload corpus) and
+    as the comparison leg of ``benchmarks/bench_prune.py``.
     """
     result = PruneResult()
     result.constraints_before = graph.num_constraints
@@ -258,6 +441,15 @@ def find_known_cycle(
     Works on the *induced* graph (Dep composed with optional trailing RW),
     so any cycle found has no two adjacent RW edges and is therefore a
     genuine SI violation witness.
+
+    With ``extra_edges`` (an impossible constraint branch being closed
+    against the known graph), the BFS is seeded only from the branch
+    edges' endpoints instead of from every vertex: any cycle that uses a
+    branch edge passes through one of its endpoints as an induced-graph
+    node (a Dep edge contributes hops leaving its tail; an RW edge only
+    appears as the trailing half of a composed hop *arriving at* its
+    head), and the impossibility rules guarantee such a cycle exists —
+    so the seeded search cannot miss, and skips the all-starts sweep.
     """
     dep_adj: Dict[int, List[Edge]] = {}
     antidep_adj: Dict[int, List[Edge]] = {}
@@ -274,8 +466,14 @@ def find_known_cycle(
             for rw_edge in antidep_adj.get(edge[1], ()):
                 hops.append((rw_edge[1], [edge, rw_edge]))
 
+    if extra_edges:
+        endpoints = [v for edge in extra_edges for v in (edge[0], edge[1])]
+        starts = [v for v in dict.fromkeys(endpoints) if v in induced]
+    else:
+        starts = list(induced)
+
     best: Optional[List[Edge]] = None
-    for start in induced:
+    for start in starts:
         path = _bfs_cycle(induced, start)
         if path is not None and (best is None or len(path) < len(best)):
             best = path

@@ -53,7 +53,7 @@ from ..core.history import (
 from ..core.polygraph import Edge, RW, SO, WR, WW
 from ..core.pruning import branch_impossible, find_known_cycle
 from ..solver.monosat import AcyclicGraphSolver
-from .closure import CYCLE, IncrementalClosure
+from ..utils.closure import CYCLE, IncrementalClosure
 from .window import WindowPolicy, WindowStats
 
 __all__ = ["OnlineChecker", "OnlineResult"]

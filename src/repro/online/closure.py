@@ -1,146 +1,16 @@
-"""Incremental transitive closure for online checking.
+"""Compatibility re-export of the shared incremental closure kernel.
 
-The batch checker recomputes the known-graph closure from scratch on
-every pruning iteration (:mod:`repro.utils.reachability`).  A streaming
-checker cannot afford that: each new transaction adds a handful of edges
-to a graph of everything seen so far.  This kernel maintains *both*
-directions of the closure as bitset rows (arbitrary-precision ints, as
-in the batch kernel):
-
-- ``rows[u]`` — vertices strictly reachable from ``u``;
-- ``co_rows[v]`` — vertices that strictly reach ``v``.
-
-Inserting ``u -> v`` unions ``v``'s forward row into every ancestor of
-``u`` (and symmetrically for the backward rows), touching only ancestors
-whose rows actually change — O(|ancestors| * n/64) words per edge, and
-O(1) when the edge is already implied.  Insertion reports whether the
-edge closed a directed cycle, which for the online checker is the moment
-a known-graph SI violation becomes undeniable.
-
-``compact`` renumbers the closure onto a surviving subset of vertices
-(window eviction): transitive facts *through* evicted vertices are
-preserved, because the rows already contain the closed-over reachability
-rather than raw adjacency.
+The incremental transitive closure started life here as an
+online-checking-only structure; it now lives in
+:mod:`repro.utils.closure`, where the *batch* pruning fixpoint
+(:mod:`repro.core.pruning`), the parallel shard re-prune path
+(:mod:`repro.parallel.partition`), segmented checking, and the online
+checker all share the one implementation.  This module keeps the old
+import path working.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from ..utils.closure import CYCLE, KNOWN, NEW, IncrementalClosure
 
-__all__ = ["IncrementalClosure"]
-
-# Insertion outcomes.
-NEW = "new"
-KNOWN = "known"
-CYCLE = "cycle"
-
-
-def _iter_bits(mask: int) -> Iterable[int]:
-    """Yield the set bit positions of ``mask`` (ascending)."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
-
-
-class IncrementalClosure:
-    """Strict reachability under incremental edge insertion.
-
-    Compatible with the ``has``/``reaches_any`` query surface of
-    :class:`repro.utils.reachability.Reachability`, so pruning logic can
-    run against either oracle.
-    """
-
-    __slots__ = ("rows", "co_rows", "edges")
-
-    def __init__(self, n: int = 0):
-        self.rows: List[int] = [0] * n
-        self.co_rows: List[int] = [0] * n
-        #: Direct (non-transitive) edges actually inserted, as pair masks;
-        #: used to rebuild typed structure after compaction.
-        self.edges: List[int] = [0] * n
-
-    @property
-    def num_vertices(self) -> int:
-        """Number of vertices currently tracked."""
-        return len(self.rows)
-
-    def add_vertex(self) -> int:
-        """Append an isolated vertex; returns its id."""
-        self.rows.append(0)
-        self.co_rows.append(0)
-        self.edges.append(0)
-        return len(self.rows) - 1
-
-    # -- queries -------------------------------------------------------------
-
-    def has(self, u: int, v: int) -> bool:
-        """True iff a path of length >= 1 leads from ``u`` to ``v``."""
-        return bool((self.rows[u] >> v) & 1)
-
-    def reaches_any(self, u: int, targets: int) -> bool:
-        """``targets`` is a bitmask of candidate vertices."""
-        return bool(self.rows[u] & targets)
-
-    def has_edge(self, u: int, v: int) -> bool:
-        """True iff ``u -> v`` was inserted as a direct edge."""
-        return bool((self.edges[u] >> v) & 1)
-
-    def successors(self, u: int) -> Iterable[int]:
-        """Vertices strictly reachable from ``u`` (transitive)."""
-        return _iter_bits(self.rows[u])
-
-    def successors_direct(self, u: int) -> Iterable[int]:
-        """Direct successors of ``u`` (edges as inserted; after a
-        compaction these are the closed-over edges)."""
-        return _iter_bits(self.edges[u])
-
-    # -- mutation ------------------------------------------------------------
-
-    def insert(self, u: int, v: int) -> str:
-        """Insert edge ``u -> v``; returns ``"new"``, ``"known"`` (edge
-        already implied transitively — rows unchanged beyond recording
-        the direct edge), or ``"cycle"`` (the edge closes a directed
-        cycle; it is still inserted, leaving the rows self-reaching).
-        """
-        rows, co = self.rows, self.co_rows
-        self.edges[u] |= 1 << v
-        cyclic = u == v or bool((rows[v] >> u) & 1)
-        targets = rows[v] | (1 << v)
-        if not cyclic and not (targets & ~rows[u]):
-            return KNOWN
-        sources = co[u] | (1 << u)
-        for x in _iter_bits(sources):
-            if targets & ~rows[x]:
-                rows[x] |= targets
-        for y in _iter_bits(targets):
-            if sources & ~co[y]:
-                co[y] |= sources
-        return CYCLE if cyclic else NEW
-
-    def compact(self, live: Sequence[int]) -> List[int]:
-        """Renumber onto ``live`` (old vertex ids, ascending order defines
-        the new ids).  Returns ``old_to_new`` as a list with -1 for
-        evicted vertices.  Transitive reachability between surviving
-        vertices — including paths through evicted ones — is preserved;
-        direct-edge bookkeeping is collapsed onto the closure.
-        """
-        old_n = len(self.rows)
-        old_to_new = [-1] * old_n
-        for new_id, old_id in enumerate(live):
-            old_to_new[old_id] = new_id
-
-        def remap(mask: int) -> int:
-            out = 0
-            for bit in _iter_bits(mask):
-                mapped = old_to_new[bit]
-                if mapped >= 0:
-                    out |= 1 << mapped
-            return out
-
-        self.rows = [remap(self.rows[v]) for v in live]
-        self.co_rows = [remap(self.co_rows[v]) for v in live]
-        # After compaction the surviving "direct" edges are the closure
-        # itself: paths through evicted vertices must stay edges.
-        self.edges = list(self.rows)
-        return old_to_new
+__all__ = ["IncrementalClosure", "NEW", "KNOWN", "CYCLE"]

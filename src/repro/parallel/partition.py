@@ -27,9 +27,9 @@ from typing import Callable, List, Tuple
 from ..core.polygraph import Constraint, GeneralizedPolygraph
 from ..core.pruning import (
     PruneResult,
+    PruneState,
     apply_decisions,
     classify_constraints,
-    prune_iteration_state,
 )
 from ..utils.reachability import Reachability, transitive_closure_bits
 
@@ -42,14 +42,14 @@ MIN_PARALLEL_CONSTRAINTS = 64
 
 def classify_shard(
     rows: List[int],
-    dep_preds: List[List[int]],
+    dep_preds: List[set],
     constraints: List[Constraint],
 ) -> List[Tuple[bool, bool]]:
     """Worker body: classify one slice of the constraint list.
 
-    ``rows`` are the closure's bitset rows (arbitrary-precision ints —
-    cheap to pickle); the :class:`Reachability` facade is rebuilt on the
-    worker side.
+    ``rows`` are the parent :class:`~repro.core.pruning.PruneState`
+    closure's bitset rows (arbitrary-precision ints — cheap to pickle);
+    the :class:`Reachability` facade is rebuilt on the worker side.
     """
     return classify_constraints(constraints, Reachability(rows), dep_preds)
 
@@ -80,25 +80,34 @@ def prune_constraints_parallel(
     in-process run; ``workers`` bounds the number of classification
     slices per iteration.  Small iterations fall back to in-process
     classification — the schedule adapts, the decisions never do.
+
+    The parent maintains one incremental
+    :class:`~repro.core.pruning.PruneState` (the same shared closure
+    kernel the serial and online checkers use); each iteration ships
+    the state's current bitset rows to the workers instead of
+    recomputing a closure, and applies their concatenated decisions
+    back through the state.
     """
     result = PruneResult()
     result.constraints_before = graph.num_constraints
     result.unknown_deps_before = graph.num_unknown_deps
 
+    state = PruneState(graph, closure=closure)
     while True:
         result.iterations += 1
-        reach, dep_preds = prune_iteration_state(graph, closure=closure)
         constraints = graph.constraints
         if (executor is None or workers <= 1
                 or len(constraints) < MIN_PARALLEL_CONSTRAINTS):
-            decisions = classify_constraints(constraints, reach, dep_preds)
+            decisions = classify_constraints(constraints, state.reach,
+                                             state.dep_preds)
         else:
             futures = [
-                executor.submit(classify_shard, reach.rows, dep_preds, chunk)
+                executor.submit(classify_shard, state.reach.rows,
+                                state.dep_preds, chunk)
                 for chunk in _chunks(constraints, workers)
             ]
             decisions = [d for future in futures for d in future.result()]
-        changed = apply_decisions(graph, decisions, result)
+        changed = apply_decisions(graph, decisions, result, state=state)
         if not result.ok or not changed:
             break
 

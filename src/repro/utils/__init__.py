@@ -1,5 +1,14 @@
-"""Shared utilities: graph reachability kernels."""
+"""Shared utilities: graph reachability kernels.
 
+Two complementary closure kernels live here: the batch SCC-condensed
+bitset closure (:mod:`repro.utils.reachability`) used to *seed*
+reachability from scratch, and the incremental closure
+(:mod:`repro.utils.closure`) that maintains it under edge insertion —
+shared by batch pruning, the parallel engine, segmented checking, and
+the online checker.
+"""
+
+from .closure import IncrementalClosure
 from .reachability import (
     Reachability,
     is_acyclic,
@@ -9,6 +18,7 @@ from .reachability import (
 )
 
 __all__ = [
+    "IncrementalClosure",
     "Reachability",
     "is_acyclic",
     "tarjan_scc",

@@ -1,0 +1,204 @@
+"""The shared incremental transitive-closure kernel.
+
+One closure implementation serves every checker in the codebase:
+
+- the **batch** pruning fixpoint (:mod:`repro.core.pruning`) seeds it
+  from the SCC-condensed bitset closure on iteration 1 and then only
+  propagates the edges each later iteration promotes to *known* —
+  instead of recomputing the whole closure per iteration;
+- the **parallel** shard re-prune path
+  (:mod:`repro.parallel.partition`) ships its bitset rows to
+  classification workers per iteration and maintains it in the parent;
+- **segmented** checking reuses the batch fixpoint per segment;
+- the **online** checker (:mod:`repro.online.checker`) grows it one
+  transaction at a time and additionally relies on cycle reporting and
+  window compaction.
+
+The kernel maintains *both* directions of the closure as bitset rows
+(arbitrary-precision ints, as in the batch kernel):
+
+- ``rows[u]`` — vertices strictly reachable from ``u``;
+- ``co_rows[v]`` — vertices that strictly reach ``v``.
+
+Inserting ``u -> v`` unions ``v``'s forward row into every ancestor of
+``u`` (and symmetrically for the backward rows), touching only ancestors
+whose rows actually change — O(|ancestors| * n/64) words per edge, and
+O(1) when the edge is already implied.  Insertion reports whether the
+edge closed a directed cycle: for the online checker that is the moment
+a known-graph SI violation becomes undeniable, while batch pruning
+tolerates it (a cyclic known graph is decided later, at encoding time)
+because the rows stay exact — cycle members become self-reaching, the
+same facts the SCC-condensed recompute would produce.
+
+The backward rows are *lazy*: a closure built through :meth:`from_rows`
+(the batch seeding path) defers them, and :meth:`insert` then finds the
+ancestors of ``u`` by an O(n) row scan instead — cheaper than
+materializing the transpose when only a trickle of late-iteration edges
+ever arrives.  A closure built through the constructor (the online
+path, which inserts every edge it will ever know about) materializes
+them eagerly and pays O(|ancestors|) per insert as before.
+
+``compact`` renumbers the closure onto a surviving subset of vertices
+(window eviction): transitive facts *through* evicted vertices are
+preserved, because the rows already contain the closed-over reachability
+rather than raw adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["IncrementalClosure", "NEW", "KNOWN", "CYCLE"]
+
+# Insertion outcomes.
+NEW = "new"
+KNOWN = "known"
+CYCLE = "cycle"
+
+
+def _iter_bits(mask: int) -> Iterable[int]:
+    """Yield the set bit positions of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class IncrementalClosure:
+    """Strict reachability under incremental edge insertion.
+
+    Compatible with the ``has``/``reaches_any`` query surface of
+    :class:`repro.utils.reachability.Reachability`, so pruning logic can
+    run against either oracle.
+    """
+
+    __slots__ = ("rows", "_co_rows", "edges")
+
+    def __init__(self, n: int = 0):
+        self.rows: List[int] = [0] * n
+        self._co_rows: Optional[List[int]] = [0] * n
+        #: Direct (non-transitive) edges actually inserted, as pair masks;
+        #: used to rebuild typed structure after compaction.
+        self.edges: List[int] = [0] * n
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[int]) -> "IncrementalClosure":
+        """Wrap precomputed closure ``rows`` (e.g. the batch SCC kernel's
+        :attr:`~repro.utils.reachability.Reachability.rows`) into an
+        incremental closure.  The backward rows stay unmaterialized
+        until something reads :attr:`co_rows`; inserts meanwhile find
+        ancestors by row scan.  Direct-edge bookkeeping collapses onto
+        the closure, as after a compaction.
+        """
+        out = cls(0)
+        out.rows = list(rows)
+        out._co_rows = None
+        out.edges = list(out.rows)
+        return out
+
+    @property
+    def co_rows(self) -> List[int]:
+        """Backward rows (``co_rows[v]`` = vertices strictly reaching
+        ``v``), materialized from the forward rows on first use."""
+        if self._co_rows is None:
+            co: List[int] = [0] * len(self.rows)
+            for u, row in enumerate(self.rows):
+                bit = 1 << u
+                for v in _iter_bits(row):
+                    co[v] |= bit
+            self._co_rows = co
+        return self._co_rows
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently tracked."""
+        return len(self.rows)
+
+    def add_vertex(self) -> int:
+        """Append an isolated vertex; returns its id."""
+        self.rows.append(0)
+        if self._co_rows is not None:
+            self._co_rows.append(0)
+        self.edges.append(0)
+        return len(self.rows) - 1
+
+    # -- queries -------------------------------------------------------------
+
+    def has(self, u: int, v: int) -> bool:
+        """True iff a path of length >= 1 leads from ``u`` to ``v``."""
+        return bool((self.rows[u] >> v) & 1)
+
+    def reaches_any(self, u: int, targets: int) -> bool:
+        """``targets`` is a bitmask of candidate vertices."""
+        return bool(self.rows[u] & targets)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``u -> v`` was inserted as a direct edge."""
+        return bool((self.edges[u] >> v) & 1)
+
+    def successors(self, u: int) -> Iterable[int]:
+        """Vertices strictly reachable from ``u`` (transitive)."""
+        return _iter_bits(self.rows[u])
+
+    def successors_direct(self, u: int) -> Iterable[int]:
+        """Direct successors of ``u`` (edges as inserted; after a
+        compaction these are the closed-over edges)."""
+        return _iter_bits(self.edges[u])
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, u: int, v: int) -> str:
+        """Insert edge ``u -> v``; returns ``"new"``, ``"known"`` (edge
+        already implied transitively — rows unchanged beyond recording
+        the direct edge), or ``"cycle"`` (the edge closes a directed
+        cycle; it is still inserted, leaving the rows self-reaching).
+        """
+        rows, co = self.rows, self._co_rows
+        self.edges[u] |= 1 << v
+        cyclic = u == v or bool((rows[v] >> u) & 1)
+        targets = rows[v] | (1 << v)
+        if not cyclic and not (targets & ~rows[u]):
+            return KNOWN
+        if co is None:
+            # Backward rows unmaterialized: scan for the ancestors of
+            # ``u`` instead (O(n) cheap bit tests).
+            for x in range(len(rows)):
+                if (x == u or (rows[x] >> u) & 1) and targets & ~rows[x]:
+                    rows[x] |= targets
+            return CYCLE if cyclic else NEW
+        sources = co[u] | (1 << u)
+        for x in _iter_bits(sources):
+            if targets & ~rows[x]:
+                rows[x] |= targets
+        for y in _iter_bits(targets):
+            if sources & ~co[y]:
+                co[y] |= sources
+        return CYCLE if cyclic else NEW
+
+    def compact(self, live: Sequence[int]) -> List[int]:
+        """Renumber onto ``live`` (old vertex ids, ascending order defines
+        the new ids).  Returns ``old_to_new`` as a list with -1 for
+        evicted vertices.  Transitive reachability between surviving
+        vertices — including paths through evicted ones — is preserved;
+        direct-edge bookkeeping is collapsed onto the closure.
+        """
+        old_n = len(self.rows)
+        old_to_new = [-1] * old_n
+        for new_id, old_id in enumerate(live):
+            old_to_new[old_id] = new_id
+
+        def remap(mask: int) -> int:
+            out = 0
+            for bit in _iter_bits(mask):
+                mapped = old_to_new[bit]
+                if mapped >= 0:
+                    out |= 1 << mapped
+            return out
+
+        self.rows = [remap(self.rows[v]) for v in live]
+        if self._co_rows is not None:
+            self._co_rows = [remap(self._co_rows[v]) for v in live]
+        # After compaction the surviving "direct" edges are the closure
+        # itself: paths through evicted vertices must stay edges.
+        self.edges = list(self.rows)
+        return old_to_new

@@ -49,12 +49,26 @@ class ZipfianKeys:
             raise ValueError("theta must be in (0, 1)")
         self.num_keys = num_keys
         self.theta = theta
+        if num_keys == 1:
+            # Degenerate space: the Gray et al. constants are undefined
+            # (``(2/n)**(1-theta) > 1`` drives ``_eta`` negative, and
+            # ``_zeta2 == _zetan`` would divide by zero); every sample is
+            # the only key.
+            self._zeta2 = self._zetan = 1.0
+            self._alpha = 1.0 / (1.0 - theta)
+            self._eta = 0.0
+            return
         self._zeta2 = 1.0 + 0.5 ** theta
         self._zetan = self._zeta(num_keys, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = (1.0 - (2.0 / num_keys) ** (1.0 - theta)) / (
-            1.0 - self._zeta2 / self._zetan
-        )
+        denominator = 1.0 - self._zeta2 / self._zetan
+        if denominator == 0.0:
+            # num_keys == 2: zeta(2) == zeta2 makes the Gray et al.
+            # constant 0/0 — but sample() decides ranks 0 and 1 before
+            # ever touching ``_eta``, so any finite value is unused.
+            self._eta = 0.0
+        else:
+            self._eta = (1.0 - (2.0 / num_keys) ** (1.0 - theta)) / denominator
 
     @classmethod
     def _zeta(cls, n: int, theta: float) -> float:
@@ -69,6 +83,8 @@ class ZipfianKeys:
 
     def sample(self, rng: random.Random) -> int:
         """Draw a key rank (0 = most popular)."""
+        if self.num_keys == 1:
+            return 0
         u = rng.random()
         uz = u * self._zetan
         if uz < 1.0:

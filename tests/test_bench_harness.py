@@ -2,6 +2,9 @@
 
 import math
 import time
+import tracemalloc
+
+import pytest
 
 from repro.bench.harness import Measurement, Sweep, measure, render_series, render_table
 
@@ -12,6 +15,27 @@ class TestMeasure:
         assert m.result == 42
         assert m.seconds >= 0
         assert m.peak_mb >= 0
+
+    def test_raising_callable_does_not_leak_tracemalloc(self):
+        """Regression: without try/finally a raising callable left
+        tracemalloc running, nesting the next start() and inflating every
+        later peak-memory number in a sweep."""
+        assert not tracemalloc.is_tracing()
+        with pytest.raises(RuntimeError):
+            measure(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert not tracemalloc.is_tracing()
+
+    def test_peaks_stay_calibrated_after_an_exception(self):
+        """The observable symptom of the leak: a tiny allocation measured
+        after a raising call reported the raiser's peak too."""
+        def big_then_raise():
+            _ballast = [0] * 2_000_000
+            raise ValueError("after allocating ~16MB")
+
+        with pytest.raises(ValueError):
+            measure(big_then_raise)
+        small = measure(lambda: [0] * 1000)
+        assert small.peak_mb < 1.0
 
     def test_memory_tracks_allocations(self):
         def allocate():
@@ -55,8 +79,48 @@ class TestSweep:
         sweep.run(2, lambda: "skipped")
         assert sweep.points[2].timed_out
 
+    def test_budget_exception_records_its_name(self):
+        from repro.baselines.dbcop import DbcopBudgetExceeded
+
+        def explode():
+            raise DbcopBudgetExceeded("state budget")
+
+        sweep = Sweep("err")
+        sweep.run(1, explode)
+        assert sweep.points[1].timed_out
+        assert sweep.points[1].error == "DbcopBudgetExceeded"
+        # Budget-skipped later points carry no error name of their own.
+        sweep.run(2, lambda: "skipped")
+        assert sweep.points[2].error is None
+
+    @pytest.mark.parametrize("exc", [MemoryError, RecursionError])
+    def test_resource_exhaustion_counts_as_timeout(self, exc):
+        def exhaust():
+            raise exc("out of budget")
+
+        sweep = Sweep("err")
+        sweep.run(1, exhaust)
+        assert sweep.points[1].timed_out
+        assert sweep.points[1].error == exc.__name__
+
+    def test_programming_errors_propagate(self):
+        """Regression: a bare ``except Exception`` recorded a TypeError in
+        a checker as "budget exceeded" and killed the rest of the sweep."""
+        def buggy():
+            raise TypeError("not a budget problem")
+
+        sweep = Sweep("err")
+        with pytest.raises(TypeError):
+            sweep.run(1, buggy)
+        # The sweep is not poisoned: later points still measure.
+        m = sweep.run(2, lambda: "fine")
+        assert m is not None and not m.timed_out
+
     def test_measurement_repr(self):
         assert "TIMEOUT" in repr(Measurement(float("nan"), 0, None, True))
+        assert "MemoryError" in repr(
+            Measurement(float("nan"), 0, None, True, error="MemoryError")
+        )
         assert "0.5" in repr(Measurement(0.5, 1.0, None))
 
 

@@ -1,0 +1,136 @@
+"""Tests for the machine-readable benchmark results writer
+(repro.bench.results): schema shape, NaN handling, validation, and the
+round trip every ``BENCH_*.json`` artifact goes through."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.harness import Measurement, Sweep
+from repro.bench.results import (
+    SCHEMA,
+    BenchReport,
+    load_report,
+    validate_payload,
+)
+
+
+class TestBenchReport:
+    def test_payload_shape(self):
+        report = BenchReport("demo", config={"k": 1}, scale=0.5)
+        report.add_point("fast", 10, seconds=0.25, peak_mb=3.5)
+        report.count_verdict("si")
+        report.note("speedup", 2.0)
+        payload = report.payload()
+        assert payload["schema"] == SCHEMA
+        assert payload["bench"] == "demo"
+        assert payload["scale"] == 0.5
+        assert payload["points"][0]["series"] == "fast"
+        assert payload["verdicts"] == {"si": 1}
+        assert payload["derived"] == {"speedup": 2.0}
+        validate_payload(payload)
+
+    def test_scale_defaults_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert BenchReport("x").scale == 2.5
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert BenchReport("x").scale == 1.0
+
+    def test_nan_seconds_become_null(self):
+        report = BenchReport("demo")
+        report.add_point("s", 1, seconds=float("nan"), timed_out=True,
+                         error="TimeoutError")
+        point = report.payload()["points"][0]
+        assert point["seconds"] is None
+        assert point["timed_out"] is True
+        assert point["error"] == "TimeoutError"
+        validate_payload(report.payload())
+
+    def test_add_sweep_records_measurements_and_timeouts(self):
+        sweep = Sweep("polysi", budget_seconds=10.0)
+        sweep.points[1] = Measurement(0.5, 2.0, True)
+        sweep.points[2] = Measurement(float("nan"), float("nan"), None,
+                                      True, error="MemoryError")
+        report = BenchReport("demo")
+        report.add_sweep(sweep, axis="txns", xs=[1, 2])
+        points = report.payload()["points"]
+        assert [p["x"] for p in points] == [1, 2]
+        assert points[0]["seconds"] == 0.5
+        assert points[1]["timed_out"] and points[1]["error"] == "MemoryError"
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        report = BenchReport("roundtrip", config={"n": 3})
+        report.add_point("a", "x", seconds=1.0)
+        path = report.write(str(tmp_path))
+        assert path.endswith("BENCH_roundtrip.json")
+        loaded = load_report(path)
+        assert loaded == report.payload()
+
+    def test_write_honours_output_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path / "out"))
+        report = BenchReport("env")
+        report.add_point("a", 1, seconds=0.1)
+        path = report.write()
+        assert str(tmp_path / "out") in path
+        load_report(path)
+
+
+class TestValidation:
+    def base(self):
+        return {
+            "schema": SCHEMA, "bench": "b", "scale": 1.0, "config": {},
+            "points": [], "verdicts": {}, "derived": {},
+        }
+
+    def test_accepts_minimal(self):
+        validate_payload(self.base())
+
+    @pytest.mark.parametrize("mutate,fragment", [
+        (lambda p: p.pop("points"), "missing"),
+        (lambda p: p.update(schema="other/9"), "schema"),
+        (lambda p: p.update(bench=""), "bench"),
+        (lambda p: p.update(scale="big"), "scale"),
+        (lambda p: p.update(points=[{"series": "s"}]), "point 0"),
+        (lambda p: p.update(verdicts={"si": -1}), "verdicts"),
+    ])
+    def test_rejects_malformed(self, mutate, fragment):
+        payload = self.base()
+        mutate(payload)
+        with pytest.raises(ValueError, match=fragment):
+            validate_payload(payload)
+
+    def test_rejects_point_without_timing_or_timeout(self):
+        payload = self.base()
+        payload["points"] = [{
+            "series": "s", "axis": None, "x": 1, "seconds": None,
+            "peak_mb": None, "timed_out": False, "error": None,
+        }]
+        with pytest.raises(ValueError, match="neither"):
+            validate_payload(payload)
+
+    def test_rejects_negative_or_nonfinite_seconds(self):
+        for bad in (-1.0, float("inf")):
+            payload = self.base()
+            payload["points"] = [{
+                "series": "s", "axis": None, "x": 1, "seconds": bad,
+                "peak_mb": None, "timed_out": False, "error": None,
+            }]
+            with pytest.raises(ValueError):
+                validate_payload(payload)
+
+    def test_load_report_rejects_tampered_file(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        payload = self.base()
+        payload["schema"] = "wrong"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+    def test_emitted_json_has_no_nan_tokens(self, tmp_path):
+        report = BenchReport("nan")
+        report.add_point("s", 1, seconds=float("nan"), timed_out=True)
+        path = report.write(str(tmp_path))
+        text = open(path).read()
+        assert "NaN" not in text and "Infinity" not in text
+        assert math.isnan(float("nan"))  # sanity on the helper itself

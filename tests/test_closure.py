@@ -1,0 +1,105 @@
+"""Tests for the shared incremental closure kernel (repro.utils.closure).
+
+The online checker's behavioural coverage lives in test_online.py; these
+pin the kernel properties the *batch* pruning path newly relies on:
+``from_rows`` seeding, lazy backward rows, and row-exactness under mixed
+insertion orders and cycles.
+"""
+
+import random
+
+from repro.utils.closure import CYCLE, KNOWN, NEW, IncrementalClosure
+from repro.utils.reachability import transitive_closure_bits
+
+
+def closure_rows(n, edges):
+    adj = [set() for _ in range(n)]
+    for u, v in edges:
+        adj[u].add(v)
+    return transitive_closure_bits(n, adj).rows
+
+
+class TestFromRows:
+    def test_wraps_batch_rows(self):
+        rows = closure_rows(4, [(0, 1), (1, 2)])
+        inc = IncrementalClosure.from_rows(rows)
+        assert inc.has(0, 2) and inc.has(1, 2)
+        assert not inc.has(2, 0)
+
+    def test_co_rows_lazy_then_exact(self):
+        rows = closure_rows(4, [(0, 1), (1, 2)])
+        inc = IncrementalClosure.from_rows(rows)
+        assert inc._co_rows is None
+        co = inc.co_rows
+        assert inc._co_rows is not None
+        # co_rows[v] holds everything that reaches v.
+        assert co[2] == (1 << 0) | (1 << 1)
+        assert co[0] == 0
+
+    def test_insert_without_materialized_co_rows(self):
+        rows = closure_rows(4, [(0, 1), (1, 2)])
+        inc = IncrementalClosure.from_rows(rows)
+        assert inc.insert(2, 3) == NEW
+        assert inc._co_rows is None  # the scan path never materializes
+        # Ancestors of 2 picked up the new target.
+        assert inc.has(0, 3) and inc.has(1, 3) and inc.has(2, 3)
+
+    def test_insert_statuses(self):
+        rows = closure_rows(3, [(0, 1), (1, 2)])
+        inc = IncrementalClosure.from_rows(rows)
+        assert inc.insert(0, 2) == KNOWN
+        assert inc.insert(2, 0) == CYCLE
+        assert inc.has(0, 0)  # cycle members self-reach
+
+
+class TestRowExactness:
+    def test_random_insertion_orders_match_batch(self):
+        for seed in range(15):
+            rng = random.Random(seed)
+            n = 12
+            edges = {(rng.randrange(n), rng.randrange(n))
+                     for _ in range(20)}
+            edges = sorted(edges)
+            want = closure_rows(n, edges)
+
+            # Eager co_rows (online construction).
+            eager = IncrementalClosure(n)
+            for u, v in edges:
+                eager.insert(u, v)
+            assert eager.rows == want, (seed, "eager")
+
+            # Lazy co_rows (batch seeding with a prefix, then inserts).
+            half = len(edges) // 2
+            lazy = IncrementalClosure.from_rows(
+                closure_rows(n, edges[:half])
+            )
+            for u, v in edges[half:]:
+                lazy.insert(u, v)
+            assert lazy.rows == want, (seed, "lazy")
+
+    def test_add_vertex_with_lazy_co_rows(self):
+        inc = IncrementalClosure.from_rows(closure_rows(2, [(0, 1)]))
+        new = inc.add_vertex()
+        assert new == 2
+        inc.insert(1, new)
+        assert inc.has(0, new)
+
+    def test_compact_with_lazy_co_rows(self):
+        inc = IncrementalClosure.from_rows(
+            closure_rows(3, [(0, 1), (1, 2)])
+        )
+        old_to_new = inc.compact([0, 2])
+        assert old_to_new == [0, -1, 1]
+        assert inc.has(0, 1)  # 0 ~> 2 survived through the evicted 1
+
+
+class TestCompatImports:
+    def test_online_path_still_importable(self):
+        from repro.online.closure import IncrementalClosure as OnlineAlias
+
+        assert OnlineAlias is IncrementalClosure
+
+    def test_utils_package_export(self):
+        from repro.utils import IncrementalClosure as UtilsAlias
+
+        assert UtilsAlias is IncrementalClosure

@@ -45,6 +45,31 @@ class TestKeyDistributions:
         samples = [dist.sample(rng) for _ in range(200)]
         assert all(0 <= s < 1_000_000_000 for s in samples)
 
+    def test_zipfian_single_key(self, rng):
+        """Regression: ``num_keys == 1`` drove ``_eta`` negative through
+        ``(2/num_keys)**(1-theta) > 1`` (and ``_zeta2 == _zetan`` divides
+        by zero); the degenerate space must just return its only key."""
+        dist = ZipfianKeys(1)
+        assert all(dist.sample(rng) == 0 for _ in range(100))
+
+    def test_zipfian_two_keys_boundary(self, rng):
+        # The smallest non-degenerate space: constants well-defined,
+        # samples in range, rank 0 hotter than rank 1.
+        dist = ZipfianKeys(2)
+        assert dist._eta >= 0
+        samples = Counter(dist.sample(rng) for _ in range(2000))
+        assert set(samples) <= {0, 1}
+        assert samples[0] > samples[1]
+
+    def test_zipfian_single_key_through_generator(self):
+        params = WorkloadParams(
+            sessions=2, txns_per_session=4, ops_per_txn=3, keys=1,
+            distribution="zipfian",
+        )
+        history = generate_history(params, seed=1).history
+        keys = {op.key for txn in history.transactions for op in txn.ops}
+        assert keys == {"k0"}
+
     def test_hotspot_80_20(self, rng):
         dist = HotspotKeys(100)
         samples = [dist.sample(rng) for _ in range(5000)]
