@@ -21,6 +21,12 @@ Expected shape: the rebatch column grows roughly linearly with stream
 length (each re-check pays for the whole prefix), while the online
 columns stay flat — the incremental checker is asymptotically below any
 repeated-batch schedule.
+
+The BENCH JSON additionally carries per-closure-backend series for the
+solve-batched mode (``online/8[python]``, ``online/8[numpy]``): the
+same stream checked with each registered
+:class:`repro.utils.closure.ClosureBackend` forced, so regressions in
+either kernel are visible in the online path too.
 """
 
 import time
@@ -30,6 +36,7 @@ import pytest
 from _common import scaled
 from repro.bench.harness import render_table
 from repro.bench.results import BenchReport
+from repro.utils.closure import available_closure_backends
 from repro.core.checker import PolySIChecker
 from repro.core.history import HistoryBuilder
 from repro.online import OnlineChecker, WindowPolicy
@@ -66,13 +73,15 @@ def stream_txns(n_txns: int, seed: int = 11):
 
 
 def online_amortized(txns, *, solve_every: int = 1,
-                     windowed: bool = False) -> float:
+                     windowed: bool = False,
+                     closure_backend: str = None) -> float:
     """Amortized seconds per transaction, checking online."""
     window = WindowPolicy(max_live=64, gc_every=32) if windowed else None
     checker = OnlineChecker(
         solve_every=solve_every,
         window=window,
         sessions=range(SESSIONS) if windowed else None,
+        closure_backend=closure_backend,
     )
     start = time.perf_counter()
     for session, ops, status in txns:
@@ -115,9 +124,11 @@ def test_online_amortized(benchmark, mode):
 
 
 def main():
+    backends = available_closure_backends()
     report = BenchReport("online", config={
         "sessions": SESSIONS, "sizes": SIZES, "modes": sorted(MODES),
         "seconds_meaning": "amortized per transaction",
+        "closure_backends": backends,
     })
     rows = []
     for size in SIZES:
@@ -129,6 +140,13 @@ def main():
             cells.append(f"{per_txn * 1000:.2f}")
             report.add_point(mode, len(txns), seconds=per_txn, axis="txns")
             report.count_verdict("si")  # the mode runners assert validity
+        # Per-backend series for the solve-batched online mode: same
+        # stream, each registered closure backend forced in turn.
+        for backend in backends:
+            per_txn = online_amortized(txns, solve_every=8,
+                                       closure_backend=backend)
+            report.add_point(f"online/8[{backend}]", len(txns),
+                             seconds=per_txn, axis="txns")
         rows.append(cells)
     print("\nOnline vs repeated-batch checking (amortized ms per txn)")
     print(render_table(

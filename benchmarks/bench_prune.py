@@ -18,6 +18,20 @@ pins both:
   corpora (2-6 iterations) are reported alongside as the realistic
   shallow-fixpoint baseline.
 
+Since the closure-backend registry the bench additionally reports
+**per-backend** series: every end-to-end corpus runs the incremental
+fixpoint once per registered backend (series ``incremental[python]``,
+``incremental[numpy]``), and a *kernel cascade* — an ascending chain
+insertion trace driven straight into the closure kernel, the
+deep-fixpoint shape at a size where vectorization pays (every insert
+propagates one new target into all ancestors) — gates the numpy
+backend at >= 3x over the python backend (series
+``kernel-cascade[<backend>]``, notes ``kernel_speedup_numpy`` /
+``numpy_bar_met``), with byte-identical rows asserted between
+backends.  End-to-end corpora are small graphs where python big-ints
+are competitive; the kernel trace is where the numpy backend earns its
+keep, and both are reported so neither story hides the other.
+
 Run:  PYTHONPATH=../src python bench_prune.py
 """
 
@@ -31,6 +45,7 @@ from repro.bench.results import BenchReport
 from repro.core.history import HistoryBuilder, R, W
 from repro.core.polygraph import build_polygraph
 from repro.core.pruning import prune_constraints, prune_constraints_recompute
+from repro.utils.closure import available_closure_backends, resolve_closure_backend
 from repro.workloads.generator import WorkloadParams, generate_history
 
 #: Wall-clock best-of-N to damp scheduler noise.
@@ -38,6 +53,15 @@ ROUNDS = 3
 
 #: The repo's acceptance bar on the deep-fixpoint corpus.
 SPEEDUP_BAR = 2.0
+
+#: Bar for the numpy closure backend over the python reference on the
+#: kernel-cascade trace (the deep-fixpoint shape at kernel scale).
+NUMPY_SPEEDUP_BAR = 3.0
+
+#: Vertices in the kernel-cascade closure trace.  At this size one
+#: insert propagates ~n/2 ancestor rows on average — the regime batch
+#: pruning reaches on large histories, where the bulk row OR dominates.
+KERNEL_CASCADE_N = scaled(2048, minimum=256)
 
 
 def cascade_history(pairs: int):
@@ -121,6 +145,27 @@ def best_of(fn, history) -> tuple:
     return best, result
 
 
+def kernel_cascade(backend_name: str, n: int) -> tuple:
+    """(best seconds, final int rows) for the chain insertion trace
+    ``insert(i, i+1)`` on a fresh eager closure of ``n`` vertices.
+
+    This drives the closure kernel directly (no polygraph, no
+    classification), isolating exactly the work the backend registry
+    exists to accelerate: every insert unions the new target into all
+    ancestors of ``i`` — O(n^2/2) row ORs over the whole trace.
+    """
+    backend = resolve_closure_backend(backend_name)
+    best = float("inf")
+    closure = None
+    for _ in range(ROUNDS):
+        closure = backend(n)
+        start = time.perf_counter()
+        for i in range(n - 1):
+            closure.insert(i, i + 1)
+        best = min(best, time.perf_counter() - start)
+    return best, closure.int_rows()
+
+
 @pytest.mark.parametrize("corpus", sorted(CORPORA))
 @pytest.mark.parametrize("variant", sorted(VARIANTS))
 def test_prune_variants(benchmark, corpus, variant):
@@ -145,11 +190,34 @@ def test_cascade_is_prune_heavy():
     assert result.constraints_after == 0
 
 
+@pytest.mark.parametrize("backend", available_closure_backends())
+def test_closure_backends_cascade(benchmark, backend):
+    seconds, rows = benchmark.pedantic(
+        kernel_cascade, args=(backend, scaled(512, minimum=64)),
+        rounds=1, iterations=1,
+    )
+    assert rows[0]  # the chain closed transitively
+    benchmark.extra_info["seconds"] = round(seconds, 4)
+
+
+def test_kernel_cascade_backends_agree():
+    """Byte-identical rows between backends on the kernel trace."""
+    rows = {b: kernel_cascade(b, 96)[1]
+            for b in available_closure_backends()}
+    reference = rows.pop("python")
+    for backend, got in rows.items():
+        assert got == reference, backend
+
+
 def main():
+    backends = available_closure_backends()
     report = BenchReport("prune", config={
         "rounds": ROUNDS,
         "corpora": sorted(CORPORA),
         "speedup_bar": SPEEDUP_BAR,
+        "closure_backends": backends,
+        "numpy_speedup_bar": NUMPY_SPEEDUP_BAR,
+        "kernel_cascade_n": KERNEL_CASCADE_N,
     })
     rows = []
     speedups = {}
@@ -162,6 +230,14 @@ def main():
             seconds, result = best_of(fn, history)
             timings[variant] = seconds
             report.add_point(variant, corpus, seconds=seconds, axis="corpus")
+        # Per-backend incremental series: same fixpoint, each registered
+        # closure backend forced in turn.
+        for backend in backends:
+            seconds, _result = best_of(
+                lambda g, b=backend: prune_constraints(g, backend=b), history
+            )
+            report.add_point(f"incremental[{backend}]", corpus,
+                             seconds=seconds, axis="corpus")
         speedup = timings["recompute"] / timings["incremental"]
         speedups[corpus] = speedup
         report.note(f"speedup_{corpus}", round(speedup, 2))
@@ -177,6 +253,30 @@ def main():
     report.note("speedup_bar_met", speedups["cascade"] >= SPEEDUP_BAR)
     report.note("parity", "ok")
 
+    # The kernel-cascade trace: the perf gate for the numpy backend.
+    kernel_rows = []
+    kernel_seconds = {}
+    kernel_int_rows = {}
+    for backend in backends:
+        seconds, final_rows = kernel_cascade(backend, KERNEL_CASCADE_N)
+        kernel_seconds[backend] = seconds
+        kernel_int_rows[backend] = final_rows
+        report.add_point(f"kernel-cascade[{backend}]", KERNEL_CASCADE_N,
+                         seconds=seconds, axis="vertices")
+        kernel_rows.append([backend, KERNEL_CASCADE_N, f"{seconds:.3f}"])
+    for backend, final_rows in kernel_int_rows.items():
+        assert final_rows == kernel_int_rows["python"], (
+            f"backend {backend} diverged from the python reference"
+        )
+    report.note("kernel_parity", "ok")
+    numpy_bar_met = None
+    if "numpy" in kernel_seconds:
+        kernel_speedup = (kernel_seconds["python"]
+                         / kernel_seconds["numpy"])
+        numpy_bar_met = kernel_speedup >= NUMPY_SPEEDUP_BAR
+        report.note("kernel_speedup_numpy", round(kernel_speedup, 2))
+        report.note("numpy_bar_met", numpy_bar_met)
+
     print("\nIncremental vs recompute-per-iteration pruning "
           f"(best of {ROUNDS}, seconds)")
     print(render_table(
@@ -189,6 +289,15 @@ def main():
     bar = "meets" if speedups["cascade"] >= SPEEDUP_BAR else "below"
     print(f"cascade speedup: {speedups['cascade']:.2f}x "
           f"({bar} the {SPEEDUP_BAR:.0f}x bar)")
+
+    print(f"\nClosure kernel cascade ({KERNEL_CASCADE_N} vertices, "
+          f"best of {ROUNDS}, seconds; identical rows asserted)")
+    print(render_table(["backend", "vertices", "seconds"], kernel_rows))
+    if numpy_bar_met is not None:
+        bar = "meets" if numpy_bar_met else "below"
+        print(f"numpy kernel speedup: "
+              f"{kernel_seconds['python'] / kernel_seconds['numpy']:.2f}x "
+              f"({bar} the {NUMPY_SPEEDUP_BAR:.0f}x bar)")
     path = report.write()
     print(f"results: {path}")
 

@@ -17,8 +17,8 @@ from .registry import CheckerError, EngineSpec, register_engine
 __all__ = ["register_builtin_engines"]
 
 
-_PIPELINE_OPTIONS = ("prune", "compact", "closure", "check_axioms_first",
-                     "initial_values")
+_PIPELINE_OPTIONS = ("prune", "compact", "closure", "closure_backend",
+                     "check_axioms_first", "initial_values")
 
 
 def _expect(subject, kind: str, *, engine: str, mode: str):
@@ -77,6 +77,7 @@ def _run_polysi(subject, isolation: str, mode: str, options: CheckOptions):
             window=window,
             sessions=options.sessions,
             initial_values=options.initial_values,
+            closure_backend=options.closure_backend,
         )
         return checker.replay(subject)
     if mode == "parallel":
@@ -164,10 +165,10 @@ def register_builtin_engines() -> None:
             ("listappend", "batch"),
         }),
         options=frozenset({
-            "prune", "compact", "closure", "check_axioms_first",
-            "initial_values", "workers", "strategy", "oversubscribe",
-            "early_cancel", "max_shards", "solve_every", "max_live",
-            "sessions",
+            "prune", "compact", "closure", "closure_backend",
+            "check_axioms_first", "initial_values", "workers", "strategy",
+            "oversubscribe", "early_cancel", "max_shards", "solve_every",
+            "max_live", "sessions",
         }),
         runner=_run_polysi,
         inputs={("si", "segmented"): "segmented_run",
@@ -180,16 +181,16 @@ def register_builtin_engines() -> None:
             ("si", "batch"): frozenset(_PIPELINE_OPTIONS),
             ("si", "online"): frozenset({
                 "prune", "solve_every", "max_live", "sessions",
-                "initial_values",
+                "initial_values", "closure_backend",
             }),
             ("si", "parallel"): frozenset({
-                "prune", "compact", "closure", "check_axioms_first",
-                "workers", "strategy", "oversubscribe", "early_cancel",
-                "max_shards",
+                "prune", "compact", "closure", "closure_backend",
+                "check_axioms_first", "workers", "strategy",
+                "oversubscribe", "early_cancel", "max_shards",
             }),
             ("si", "segmented"): frozenset({
-                "prune", "compact", "closure", "check_axioms_first",
-                "workers", "oversubscribe",
+                "prune", "compact", "closure", "closure_backend",
+                "check_axioms_first", "workers", "oversubscribe",
             }),
             ("causal", "batch"): frozenset(),
             ("ra", "batch"): frozenset(),

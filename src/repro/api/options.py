@@ -37,7 +37,9 @@ MODE_OPTIONS: Dict[str, frozenset] = {
 OPTION_DOCS: Dict[str, str] = {
     "prune": "apply constraint pruning before encoding (default True)",
     "compact": "use generalized (compacted) constraints (default True)",
-    "closure": 'reachability kernel: "bits" or "numpy"',
+    "closure": 'reachability seed kernel: "bits" or "numpy"',
+    "closure_backend": ('incremental-closure backend: "python", "numpy", '
+                        "or None for REPRO_CLOSURE_BACKEND / auto"),
     "check_axioms_first": "run the axiom stage before construction",
     "initial_values": "map key -> value considered initial (segmented runs)",
     "workers": "process count for parallel / segmented checking",
@@ -68,6 +70,7 @@ class CheckOptions:
     prune: bool = True
     compact: bool = True
     closure: str = "bits"
+    closure_backend: Optional[str] = None
     check_axioms_first: bool = True
     initial_values: Optional[dict] = None
 
@@ -92,6 +95,11 @@ class CheckOptions:
     def __post_init__(self) -> None:
         if self.closure not in ("bits", "numpy"):
             raise ValueError(f"unknown closure kernel: {self.closure!r}")
+        if self.closure_backend is not None:
+            # Delegate to the registry so the error lists what exists.
+            from ..utils.closure import resolve_closure_backend
+
+            resolve_closure_backend(self.closure_backend)
         if self.strategy not in ("auto", "components", "constraints"):
             raise ValueError(f"unknown strategy: {self.strategy!r}")
         if self.solve_every < 1:

@@ -247,6 +247,13 @@ def _adapt_segmented(native: SegmentedCheckResult, report: Report) -> None:
         "segments": len(native.segment_results),
         "failing_segment": native.failing_segment,
     }
+    # Every segment runs the same pinned closure backend; surface it
+    # from the first segment that got far enough to record one.
+    for segment_result in native.segment_results:
+        backend = segment_result.stats.get("closure_backend")
+        if backend is not None:
+            report.stats["closure_backend"] = backend
+            break
     report.decided_by = "segments"
     for segment_result in native.segment_results:
         if not segment_result.satisfies_si:

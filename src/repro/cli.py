@@ -58,6 +58,7 @@ from .online import OnlineChecker, WindowPolicy
 from .storage.client import run_workload, stream_workload
 from .storage.database import MVCCDatabase
 from .storage.faults import DATABASE_PROFILES
+from .utils.closure import available_closure_backends
 from .workloads.corpus import known_anomaly_corpus
 from .workloads.generator import WorkloadParams, generate_workload
 
@@ -189,6 +190,8 @@ def cmd_check(args) -> int:
     options = {"prune": not args.no_prune}
     if args.workers is not None:
         options["workers"] = args.workers
+    if args.closure_backend is not None:
+        options["closure_backend"] = args.closure_backend
     if args.mode == "online":
         options["solve_every"] = args.solve_every
     elif args.solve_every != 1:
@@ -225,6 +228,7 @@ def cmd_watch(args) -> int:
         solve_every=args.solve_every,
         window=window,
         sessions=range(args.sessions) if window else None,
+        closure_backend=args.closure_backend,
     )
     seen = 0
     for session, ops, status in stream_workload(db, spec, seed=args.seed):
@@ -447,6 +451,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", help="write the counterexample DOT here")
     p.add_argument("--parallel", type=_positive_int, metavar="N",
                    help="deprecated alias for --mode parallel --workers N")
+    p.add_argument("--closure-backend", default=None,
+                   choices=available_closure_backends(),
+                   help="incremental-closure kernel (default: "
+                        "$REPRO_CLOSURE_BACKEND, else numpy if available)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -469,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bound live transactions (windowed eviction)")
     p.add_argument("--report-every", type=int, default=25,
                    help="print a status line every N transactions (0: off)")
+    p.add_argument("--closure-backend", default=None,
+                   choices=available_closure_backends(),
+                   help="incremental-closure kernel (default: "
+                        "$REPRO_CLOSURE_BACKEND, else numpy if available)")
     p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(

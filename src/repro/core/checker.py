@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional
 
+from ..utils.closure import resolve_closure_backend
 from ..utils.reachability import (
     Reachability,
     is_acyclic,
@@ -145,6 +146,15 @@ class PolySIChecker:
         into classic per-reader constraints (Figure 10's "w/o C+P").
     closure:
         Reachability kernel for pruning: "bits" (default) or "numpy".
+        This selects the batch *seed* closure; the incremental kernel
+        that maintains it across fixpoint iterations is chosen by
+        ``closure_backend``.
+    closure_backend:
+        Incremental-closure backend: a registered name (``"python"``,
+        ``"numpy"``) or None to honour ``REPRO_CLOSURE_BACKEND`` /
+        auto-selection (see
+        :func:`repro.utils.closure.resolve_closure_backend`).  The
+        resolved name is reported in ``result.stats["closure_backend"]``.
     check_axioms_first:
         Skip the axiom stage when False (for harnesses that already
         validated the history).
@@ -160,6 +170,7 @@ class PolySIChecker:
         prune: bool = True,
         compact: bool = True,
         closure: str = "bits",
+        closure_backend: Optional[str] = None,
         check_axioms_first: bool = True,
         initial_values: Optional[dict] = None,
     ):
@@ -168,12 +179,20 @@ class PolySIChecker:
         self.prune = prune
         self.compact = compact
         self.closure: Callable[..., Reachability] = _CLOSURES[closure]
+        # Resolve eagerly: an unknown name fails at construction, and
+        # every shard / stage of one check uses the same backend even
+        # if the environment changes mid-run.
+        self.closure_backend: str = resolve_closure_backend(
+            closure_backend).name
         self.check_axioms_first = check_axioms_first
         self.initial_values = initial_values
 
     def check(self, history: History) -> CheckResult:
         """Run the full pipeline on ``history``."""
         result = CheckResult()
+        # Reported even on axiom-decided histories, so facade callers
+        # always see which kernel a forced backend resolved to.
+        result.stats["closure_backend"] = self.closure_backend
         graph = self.construct(history, result)
         if graph is None:
             return result
@@ -228,9 +247,11 @@ class PolySIChecker:
         if result is None:
             result = CheckResult()
 
+        result.stats["closure_backend"] = self.closure_backend
         if self.prune:
             t0 = time.perf_counter()
-            prune_result = prune_constraints(graph, closure=self.closure)
+            prune_result = prune_constraints(graph, closure=self.closure,
+                                             backend=self.closure_backend)
             result.timings["prune"] = time.perf_counter() - t0
             result.prune_result = prune_result
             if not prune_result.ok:

@@ -38,7 +38,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..utils.closure import IncrementalClosure
+from ..utils.closure import ClosureBackend, resolve_closure_backend
 from ..utils.reachability import Reachability, transitive_closure_bits
 from .polygraph import Constraint, Edge, GeneralizedPolygraph, RW, WW, DEP_LABELS
 
@@ -167,13 +167,14 @@ class PruneState:
     """
 
     __slots__ = ("graph", "dep", "antidep", "dep_preds",
-                 "_closure", "_reach", "_pending")
+                 "_closure", "_backend", "_reach", "_pending")
 
     def __init__(
         self,
         graph: GeneralizedPolygraph,
         *,
         closure: Callable[[int, List[set]], Reachability] = transitive_closure_bits,
+        backend=None,
     ):
         self.graph = graph
         dep, antidep = _known_adjacency(graph)
@@ -184,14 +185,23 @@ class PruneState:
             for v in succs:
                 self.dep_preds[v].add(u)
         self._closure = closure
+        #: Incremental-closure backend class (see
+        #: :func:`repro.utils.closure.resolve_closure_backend` for the
+        #: selector semantics — None honours REPRO_CLOSURE_BACKEND).
+        self._backend = resolve_closure_backend(backend)
         base = closure(graph.num_vertices, _induced_adjacency(dep, antidep))
-        self._reach = IncrementalClosure.from_rows(base.rows)
+        self._reach = self._backend.from_rows(base.rows)
         #: Newly-promoted (src, dst, is_antidep) pairs not yet in the
         #: closure; pair-level deduplicated by :meth:`add_known`.
         self._pending: List[Tuple[int, int, bool]] = []
 
     @property
-    def reach(self) -> IncrementalClosure:
+    def backend_name(self) -> str:
+        """Registry name of the closure backend in use."""
+        return self._backend.name
+
+    @property
+    def reach(self) -> ClosureBackend:
         """The KI closure, with any queued delta flushed in."""
         if self._pending:
             self._flush()
@@ -205,7 +215,7 @@ class PruneState:
             # costs what a single old-style recompute iteration did.
             ki = _induced_adjacency(self.dep, self.antidep)
             base = self._closure(n, ki)
-            self._reach = IncrementalClosure.from_rows(base.rows)
+            self._reach = self._backend.from_rows(base.rows)
             return
         # Small delta: expand each promoted pair into its induced
         # consequences against the *current* adjacency (a superset of
@@ -356,6 +366,7 @@ def prune_constraints(
     graph: GeneralizedPolygraph,
     *,
     closure: Callable[[int, List[set]], Reachability] = transitive_closure_bits,
+    backend=None,
 ) -> PruneResult:
     """Prune ``graph`` in place until no more constraints can be resolved.
 
@@ -376,7 +387,7 @@ def prune_constraints(
     result.constraints_before = graph.num_constraints
     result.unknown_deps_before = graph.num_unknown_deps
 
-    state = PruneState(graph, closure=closure)
+    state = PruneState(graph, closure=closure, backend=backend)
     while True:
         result.iterations += 1
         decisions = classify_constraints(

@@ -18,7 +18,8 @@ pipeline (:mod:`repro.core.checker`) recomputes from scratch:
   version order is already resolved, the implied anti-dependency edge is
   emitted immediately.
 - **pruning** — the known induced graph ``KI = Dep ∪ (Dep ; AntiDep)``
-  is extended edge by edge through an :class:`IncrementalClosure`; the
+  is extended edge by edge through the shared incremental-closure
+  kernel (:class:`repro.utils.closure.ClosureBackend`); the
   paper's two impossibility rules (Section 4.3) run to fixpoint over the
   surviving constraints only.  A cycle materializing in the known graph
   is a violation the moment the closing edge arrives.
@@ -53,7 +54,7 @@ from ..core.history import (
 from ..core.polygraph import Edge, RW, SO, WR, WW
 from ..core.pruning import branch_impossible, find_known_cycle
 from ..solver.monosat import AcyclicGraphSolver
-from ..utils.closure import CYCLE, IncrementalClosure
+from ..utils.closure import CYCLE, resolve_closure_backend
 from .window import WindowPolicy, WindowStats
 
 __all__ = ["OnlineChecker", "OnlineResult"]
@@ -155,6 +156,10 @@ class OnlineChecker:
         "Window soundness").
     initial_values:
         Map key -> value considered initial (as in the batch checker).
+    closure_backend:
+        Incremental-closure backend name (``"python"``, ``"numpy"``) or
+        None to honour ``REPRO_CLOSURE_BACKEND`` / auto-selection; the
+        resolved name is reported in ``stats["closure_backend"]``.
 
     Typical use::
 
@@ -174,6 +179,7 @@ class OnlineChecker:
         window: Optional[WindowPolicy] = None,
         sessions: Optional[Iterable[int]] = None,
         initial_values: Optional[dict] = None,
+        closure_backend: Optional[str] = None,
     ):
         if solve_every < 1:
             raise ValueError("solve_every must be >= 1")
@@ -213,8 +219,10 @@ class OnlineChecker:
         self._antidep_out: List[set] = [set()]
         self._ww_succ: Dict[int, Dict[object, set]] = {}
 
-        self._ki = IncrementalClosure(1)
-        self._dep_reach = IncrementalClosure(1) if window else None
+        backend_cls = resolve_closure_backend(closure_backend)
+        self.closure_backend = backend_cls.name
+        self._ki = backend_cls(1)
+        self._dep_reach = backend_cls(1) if window else None
 
         self._unresolved: Dict[tuple, bool] = {}
         self._unresolved_touch: Dict[int, int] = {}
@@ -872,6 +880,7 @@ class OnlineChecker:
             "known_edges": len(self._known_edges),
             "solves": self._solves,
             "window": self._wstats.as_dict(),
+            "closure_backend": self.closure_backend,
         }
         if self._solver is not None:
             out.stats["solver"] = self._solver.stats.as_dict()

@@ -235,8 +235,10 @@ class ParallelChecker:
         decomposes into two or more constrained components and
         ``"constraints"`` (shared-closure partitioned pruning + serial
         solve) otherwise; both can be forced.
-    prune / compact / closure / check_axioms_first:
-        Forwarded to the per-shard pipeline, same as PolySIChecker.
+    prune / compact / closure / closure_backend / check_axioms_first:
+        Forwarded to the per-shard pipeline, same as PolySIChecker
+        (``closure_backend`` is resolved once in the parent, so shards
+        cannot diverge from it).
     early_cancel:
         Cancel not-yet-started shards once any shard reports a
         violation.
@@ -268,6 +270,7 @@ class ParallelChecker:
         prune: bool = True,
         compact: bool = True,
         closure: str = "bits",
+        closure_backend: Optional[str] = None,
         check_axioms_first: bool = True,
         early_cancel: bool = True,
         max_shards: Optional[int] = None,
@@ -287,10 +290,14 @@ class ParallelChecker:
         self.early_cancel = early_cancel
         self._options = {"prune": prune, "compact": compact,
                          "closure": closure,
+                         "closure_backend": closure_backend,
                          "check_axioms_first": check_axioms_first}
         # Validates prune/compact/closure immediately, and serves as the
         # parent-side stage runner.
         self._serial = PolySIChecker(**self._options)
+        # Pin the resolved name so every worker shard uses the same
+        # backend as the parent regardless of worker-side environment.
+        self._options["closure_backend"] = self._serial.closure_backend
         if max_shards is None:
             max_shards = 4 * workers
         self.planner = ShardPlanner(max_shards=max_shards)
@@ -325,6 +332,7 @@ class ParallelChecker:
         result = CheckResult()
         result.stats["workers"] = self.workers
         result.stats["pool_workers"] = self.pool_workers
+        result.stats["closure_backend"] = self._serial.closure_backend
         graph = self._serial.construct(history, result)
         if graph is None:
             result.stats["wall_seconds"] = time.perf_counter() - wall
@@ -369,6 +377,7 @@ class ParallelChecker:
             prune_result = prune_constraints_parallel(
                 graph, executor, self.pool_workers,
                 closure=self._serial.closure,
+                backend=self._serial.closure_backend,
             )
             result.timings["prune"] = time.perf_counter() - t0
             result.prune_result = prune_result

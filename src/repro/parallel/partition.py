@@ -48,8 +48,11 @@ def classify_shard(
     """Worker body: classify one slice of the constraint list.
 
     ``rows`` are the parent :class:`~repro.core.pruning.PruneState`
-    closure's bitset rows (arbitrary-precision ints — cheap to pickle);
-    the :class:`Reachability` facade is rebuilt on the worker side.
+    closure's rows in the backend-independent int-bitset serialization
+    (:meth:`~repro.utils.closure.ClosureBackend.int_rows` —
+    arbitrary-precision ints, cheap to pickle, identical no matter
+    which closure backend the parent runs); the :class:`Reachability`
+    facade is rebuilt on the worker side.
     """
     return classify_constraints(constraints, Reachability(rows), dep_preds)
 
@@ -72,6 +75,7 @@ def prune_constraints_parallel(
     workers: int,
     *,
     closure: Callable = transitive_closure_bits,
+    backend=None,
 ) -> PruneResult:
     """Serial-identical pruning with sharded classification.
 
@@ -92,7 +96,7 @@ def prune_constraints_parallel(
     result.constraints_before = graph.num_constraints
     result.unknown_deps_before = graph.num_unknown_deps
 
-    state = PruneState(graph, closure=closure)
+    state = PruneState(graph, closure=closure, backend=backend)
     while True:
         result.iterations += 1
         constraints = graph.constraints
@@ -101,8 +105,9 @@ def prune_constraints_parallel(
             decisions = classify_constraints(constraints, state.reach,
                                              state.dep_preds)
         else:
+            rows = state.reach.int_rows()
             futures = [
-                executor.submit(classify_shard, state.reach.rows,
+                executor.submit(classify_shard, rows,
                                 state.dep_preds, chunk)
                 for chunk in _chunks(constraints, workers)
             ]

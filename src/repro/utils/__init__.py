@@ -1,14 +1,27 @@
 """Shared utilities: graph reachability kernels.
 
-Two complementary closure kernels live here: the batch SCC-condensed
+Two complementary closure layers live here: the batch SCC-condensed
 bitset closure (:mod:`repro.utils.reachability`) used to *seed*
 reachability from scratch, and the incremental closure
 (:mod:`repro.utils.closure`) that maintains it under edge insertion —
 shared by batch pruning, the parallel engine, segmented checking, and
-the online checker.
+the online checker.  The incremental closure is pluggable: a
+:class:`~repro.utils.closure.ClosureBackend` contract with a pure-
+Python reference implementation (:class:`PyBitsetClosure`) and a
+vectorized numpy implementation
+(:class:`~repro.utils.closure_np.NumpyBitsetClosure`), selected
+through :func:`resolve_closure_backend`.
 """
 
-from .closure import IncrementalClosure
+from .closure import (
+    BACKEND_ENV,
+    ClosureBackend,
+    IncrementalClosure,
+    PyBitsetClosure,
+    available_closure_backends,
+    register_closure_backend,
+    resolve_closure_backend,
+)
 from .reachability import (
     Reachability,
     is_acyclic,
@@ -18,7 +31,13 @@ from .reachability import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
+    "ClosureBackend",
     "IncrementalClosure",
+    "PyBitsetClosure",
+    "available_closure_backends",
+    "register_closure_backend",
+    "resolve_closure_backend",
     "Reachability",
     "is_acyclic",
     "tarjan_scc",

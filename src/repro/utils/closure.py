@@ -1,21 +1,36 @@
-"""The shared incremental transitive-closure kernel.
+"""The shared incremental transitive-closure kernel, behind a backend
+registry.
 
-One closure implementation serves every checker in the codebase:
+One closure *contract* serves every checker in the codebase:
 
 - the **batch** pruning fixpoint (:mod:`repro.core.pruning`) seeds it
   from the SCC-condensed bitset closure on iteration 1 and then only
   propagates the edges each later iteration promotes to *known* —
   instead of recomputing the whole closure per iteration;
 - the **parallel** shard re-prune path
-  (:mod:`repro.parallel.partition`) ships its bitset rows to
-  classification workers per iteration and maintains it in the parent;
+  (:mod:`repro.parallel.partition`) ships its rows to classification
+  workers per iteration (through the backend-independent
+  :meth:`ClosureBackend.int_rows` serialization) and maintains it in
+  the parent;
 - **segmented** checking reuses the batch fixpoint per segment;
 - the **online** checker (:mod:`repro.online.checker`) grows it one
   transaction at a time and additionally relies on cycle reporting and
   window compaction.
 
-The kernel maintains *both* directions of the closure as bitset rows
-(arbitrary-precision ints, as in the batch kernel):
+Because four engines share this one kernel, a fast-but-wrong
+implementation would silently corrupt every mode.  The kernel is
+therefore split into an abstract contract (:class:`ClosureBackend`),
+a reference implementation (:class:`PyBitsetClosure`, arbitrary-
+precision-int bitsets — the differential baseline, retained the same
+way ``prune_constraints_recompute`` is), and a registry through which
+accelerated implementations plug in
+(:class:`~repro.utils.closure_np.NumpyBitsetClosure` registers itself
+when numpy is importable).  ``tests/test_closure_backends.py`` replays
+identical operation scripts against every registered backend and
+asserts identical observable behaviour — the soundness argument for
+swapping kernels (DESIGN.md S10).
+
+The kernel maintains *both* directions of the closure:
 
 - ``rows[u]`` — vertices strictly reachable from ``u``;
 - ``co_rows[v]`` — vertices that strictly reach ``v``.
@@ -30,8 +45,8 @@ tolerates it (a cyclic known graph is decided later, at encoding time)
 because the rows stay exact — cycle members become self-reaching, the
 same facts the SCC-condensed recompute would produce.
 
-The backward rows are *lazy*: a closure built through :meth:`from_rows`
-(the batch seeding path) defers them, and :meth:`insert` then finds the
+The backward rows are *lazy*: a closure built through ``from_rows``
+(the batch seeding path) defers them, and ``insert`` then finds the
 ancestors of ``u`` by an O(n) row scan instead — cheaper than
 materializing the transpose when only a trickle of late-iteration edges
 ever arrives.  A closure built through the constructor (the online
@@ -42,18 +57,50 @@ them eagerly and pays O(|ancestors|) per insert as before.
 (window eviction): transitive facts *through* evicted vertices are
 preserved, because the rows already contain the closed-over reachability
 rather than raw adjacency.
+
+Backend selection
+-----------------
+
+:func:`resolve_closure_backend` picks the implementation, in priority
+order: an explicit argument (a registered name or a
+:class:`ClosureBackend` subclass), the ``REPRO_CLOSURE_BACKEND``
+environment variable, then auto-selection (``numpy`` when importable,
+else ``python``).  Every entry point that owns a closure —
+``PruneState``, ``prune_constraints``, ``prune_constraints_parallel``,
+``PolySIChecker`` / ``ParallelChecker`` / segmented checking
+(``closure_backend=...``), ``OnlineChecker``, the façade
+(``repro.check(..., closure_backend=...)``), and the CLI
+(``repro check --closure-backend``) — threads a ``backend`` selector
+down to this resolver, and the chosen backend's name is reported in
+``Report.stats["closure_backend"]``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
 
-__all__ = ["IncrementalClosure", "NEW", "KNOWN", "CYCLE"]
+__all__ = [
+    "ClosureBackend",
+    "PyBitsetClosure",
+    "IncrementalClosure",
+    "NEW",
+    "KNOWN",
+    "CYCLE",
+    "BACKEND_ENV",
+    "register_closure_backend",
+    "available_closure_backends",
+    "resolve_closure_backend",
+]
 
 # Insertion outcomes.
 NEW = "new"
 KNOWN = "known"
 CYCLE = "cycle"
+
+#: Environment variable consulted by :func:`resolve_closure_backend`
+#: when no explicit backend is passed.
+BACKEND_ENV = "REPRO_CLOSURE_BACKEND"
 
 
 def _iter_bits(mask: int) -> Iterable[int]:
@@ -64,15 +111,139 @@ def _iter_bits(mask: int) -> Iterable[int]:
         mask ^= low
 
 
-class IncrementalClosure:
-    """Strict reachability under incremental edge insertion.
+class ClosureBackend:
+    """The incremental-closure contract every backend must honour.
 
+    All behaviour observable through this surface must be identical
+    across backends — the differential suite
+    (``tests/test_closure_backends.py``) replays identical operation
+    scripts against every registered backend and asserts exactly that,
+    and the property suite checks the closure invariants (transitivity,
+    insert idempotence, ``reaches_any``/``successors`` consistency,
+    ``compact`` preserving live reachability) against this abstract
+    spec, so any future backend inherits both for free.
+
+    Vertices are dense ids ``0..num_vertices-1``.  Bit masks passed to
+    :meth:`reaches_any` and lists returned by :meth:`int_rows` /
+    :attr:`co_rows` are arbitrary-precision Python ints with bit ``v``
+    standing for vertex ``v`` — the backend-independent serialization
+    (what the parallel engine ships to its workers).
+    """
+
+    __slots__ = ()
+
+    #: Registry name of the backend (``"python"``, ``"numpy"``, ...).
+    name: str = "abstract"
+
+    def __init__(self, n: int = 0):
+        raise NotImplementedError
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[int]) -> "ClosureBackend":
+        """Wrap precomputed closure ``rows`` (e.g. the batch SCC kernel's
+        :attr:`~repro.utils.reachability.Reachability.rows`, as int
+        bitsets) into an incremental closure.  The backward rows stay
+        unmaterialized until something reads :attr:`co_rows`; inserts
+        meanwhile find ancestors by row scan.  Direct-edge bookkeeping
+        collapses onto the closure, as after a compaction.
+        """
+        raise NotImplementedError
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently tracked."""
+        raise NotImplementedError
+
+    @property
+    def co_materialized(self) -> bool:
+        """Whether the backward rows are currently materialized (False
+        after ``from_rows``/``compact`` until :attr:`co_rows` is read —
+        pinned by the differential suite, since laziness is part of the
+        performance contract)."""
+        raise NotImplementedError
+
+    def int_rows(self) -> List[int]:
+        """The forward rows as a fresh list of int bitsets — the
+        backend-independent serialization used for row shipping and
+        cross-backend comparison."""
+        raise NotImplementedError
+
+    @property
+    def co_rows(self) -> List[int]:
+        """Backward rows (``co_rows[v]`` = int bitset of vertices
+        strictly reaching ``v``), materialized from the forward rows on
+        first use."""
+        raise NotImplementedError
+
+    # -- growth --------------------------------------------------------------
+
+    def add_vertex(self) -> int:
+        """Append an isolated vertex; returns its id."""
+        raise NotImplementedError
+
+    # -- queries -------------------------------------------------------------
+
+    def has(self, u: int, v: int) -> bool:
+        """True iff a path of length >= 1 leads from ``u`` to ``v``."""
+        raise NotImplementedError
+
+    def reaches_any(self, u: int, targets: int) -> bool:
+        """``targets`` is an int bitmask of candidate vertices."""
+        raise NotImplementedError
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``u -> v`` was inserted as a direct edge."""
+        raise NotImplementedError
+
+    def successors(self, u: int) -> Iterable[int]:
+        """Vertices strictly reachable from ``u`` (transitive),
+        ascending."""
+        raise NotImplementedError
+
+    def successors_direct(self, u: int) -> Iterable[int]:
+        """Direct successors of ``u`` (edges as inserted; after a
+        compaction these are the closed-over edges), ascending."""
+        raise NotImplementedError
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, u: int, v: int) -> str:
+        """Insert edge ``u -> v``; returns ``"new"``, ``"known"`` (edge
+        already implied transitively — rows unchanged beyond recording
+        the direct edge), or ``"cycle"`` (the edge closes a directed
+        cycle; it is still inserted, leaving the rows self-reaching).
+        """
+        raise NotImplementedError
+
+    def compact(self, live: Sequence[int]) -> List[int]:
+        """Renumber onto ``live`` (old vertex ids; their order of
+        appearance defines the new ids — in-repo callers pass them
+        ascending).  Returns ``old_to_new`` as a list with -1 for
+        evicted vertices.  Transitive reachability between surviving
+        vertices — including paths through evicted ones — is preserved;
+        direct-edge bookkeeping is collapsed onto the closure.  An empty
+        ``live`` empties the closure (and ``add_vertex`` must keep
+        working afterwards); a one-shot iterator is accepted.
+        """
+        raise NotImplementedError
+
+
+class PyBitsetClosure(ClosureBackend):
+    """Strict reachability under incremental edge insertion, rows as
+    arbitrary-precision-int bitsets.
+
+    The reference backend: pure Python, no dependencies, and the
+    differential baseline every accelerated backend is fuzzed against.
     Compatible with the ``has``/``reaches_any`` query surface of
     :class:`repro.utils.reachability.Reachability`, so pruning logic can
     run against either oracle.
     """
 
     __slots__ = ("rows", "_co_rows", "edges")
+
+    name = "python"
 
     def __init__(self, n: int = 0):
         self.rows: List[int] = [0] * n
@@ -82,14 +253,8 @@ class IncrementalClosure:
         self.edges: List[int] = [0] * n
 
     @classmethod
-    def from_rows(cls, rows: Sequence[int]) -> "IncrementalClosure":
-        """Wrap precomputed closure ``rows`` (e.g. the batch SCC kernel's
-        :attr:`~repro.utils.reachability.Reachability.rows`) into an
-        incremental closure.  The backward rows stay unmaterialized
-        until something reads :attr:`co_rows`; inserts meanwhile find
-        ancestors by row scan.  Direct-edge bookkeeping collapses onto
-        the closure, as after a compaction.
-        """
+    def from_rows(cls, rows: Sequence[int]) -> "PyBitsetClosure":
+        """See :meth:`ClosureBackend.from_rows`."""
         out = cls(0)
         out.rows = list(rows)
         out._co_rows = None
@@ -98,8 +263,7 @@ class IncrementalClosure:
 
     @property
     def co_rows(self) -> List[int]:
-        """Backward rows (``co_rows[v]`` = vertices strictly reaching
-        ``v``), materialized from the forward rows on first use."""
+        """See :attr:`ClosureBackend.co_rows`."""
         if self._co_rows is None:
             co: List[int] = [0] * len(self.rows)
             for u, row in enumerate(self.rows):
@@ -110,12 +274,18 @@ class IncrementalClosure:
         return self._co_rows
 
     @property
+    def co_materialized(self) -> bool:
+        return self._co_rows is not None
+
+    @property
     def num_vertices(self) -> int:
-        """Number of vertices currently tracked."""
         return len(self.rows)
 
+    def int_rows(self) -> List[int]:
+        return list(self.rows)
+
     def add_vertex(self) -> int:
-        """Append an isolated vertex; returns its id."""
+        """See :meth:`ClosureBackend.add_vertex`."""
         self.rows.append(0)
         if self._co_rows is not None:
             self._co_rows.append(0)
@@ -125,34 +295,24 @@ class IncrementalClosure:
     # -- queries -------------------------------------------------------------
 
     def has(self, u: int, v: int) -> bool:
-        """True iff a path of length >= 1 leads from ``u`` to ``v``."""
         return bool((self.rows[u] >> v) & 1)
 
     def reaches_any(self, u: int, targets: int) -> bool:
-        """``targets`` is a bitmask of candidate vertices."""
         return bool(self.rows[u] & targets)
 
     def has_edge(self, u: int, v: int) -> bool:
-        """True iff ``u -> v`` was inserted as a direct edge."""
         return bool((self.edges[u] >> v) & 1)
 
     def successors(self, u: int) -> Iterable[int]:
-        """Vertices strictly reachable from ``u`` (transitive)."""
         return _iter_bits(self.rows[u])
 
     def successors_direct(self, u: int) -> Iterable[int]:
-        """Direct successors of ``u`` (edges as inserted; after a
-        compaction these are the closed-over edges)."""
         return _iter_bits(self.edges[u])
 
     # -- mutation ------------------------------------------------------------
 
     def insert(self, u: int, v: int) -> str:
-        """Insert edge ``u -> v``; returns ``"new"``, ``"known"`` (edge
-        already implied transitively — rows unchanged beyond recording
-        the direct edge), or ``"cycle"`` (the edge closes a directed
-        cycle; it is still inserted, leaving the rows self-reaching).
-        """
+        """See :meth:`ClosureBackend.insert`."""
         rows, co = self.rows, self._co_rows
         self.edges[u] |= 1 << v
         cyclic = u == v or bool((rows[v] >> u) & 1)
@@ -176,12 +336,11 @@ class IncrementalClosure:
         return CYCLE if cyclic else NEW
 
     def compact(self, live: Sequence[int]) -> List[int]:
-        """Renumber onto ``live`` (old vertex ids, ascending order defines
-        the new ids).  Returns ``old_to_new`` as a list with -1 for
-        evicted vertices.  Transitive reachability between surviving
-        vertices — including paths through evicted ones — is preserved;
-        direct-edge bookkeeping is collapsed onto the closure.
-        """
+        """See :meth:`ClosureBackend.compact`."""
+        # ``live`` is iterated more than once below: materialize it so a
+        # one-shot iterator cannot silently empty the closure (a latent
+        # edge case surfaced by the cross-backend fuzz suite).
+        live = list(live)
         old_n = len(self.rows)
         old_to_new = [-1] * old_n
         for new_id, old_id in enumerate(live):
@@ -202,3 +361,70 @@ class IncrementalClosure:
         # itself: paths through evicted vertices must stay edges.
         self.edges = list(self.rows)
         return old_to_new
+
+
+#: Historical name of the (then only) kernel; the online checker's
+#: module path ``repro.online.closure`` and existing call sites import
+#: this alias.
+IncrementalClosure = PyBitsetClosure
+
+
+# -- backend registry --------------------------------------------------------
+
+_BACKENDS: Dict[str, Type[ClosureBackend]] = {}
+
+BackendSelector = Union[None, str, Type[ClosureBackend], ClosureBackend]
+
+
+def register_closure_backend(backend: Type[ClosureBackend]) -> None:
+    """Register ``backend`` (a :class:`ClosureBackend` subclass) under
+    its :attr:`~ClosureBackend.name`.  Re-registration under the same
+    name replaces the entry (idempotent for the builtins)."""
+    _BACKENDS[backend.name] = backend
+
+
+def available_closure_backends() -> List[str]:
+    """Registered backend names, in registration order (``python``
+    always first; ``numpy`` present when importable)."""
+    return list(_BACKENDS)
+
+
+def resolve_closure_backend(
+    backend: BackendSelector = None,
+) -> Type[ClosureBackend]:
+    """Resolve a backend selector to a :class:`ClosureBackend` subclass.
+
+    Priority: an explicit ``backend`` argument (registered name,
+    backend class, or instance), the ``REPRO_CLOSURE_BACKEND``
+    environment variable, then auto-selection — ``numpy`` when that
+    backend registered (numpy importable), else ``python``.  ``"auto"``
+    is accepted as an explicit request for the auto-selection rule.
+    An unknown name raises ``ValueError`` listing the registry.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or None
+    if backend is None or backend == "auto":
+        return _BACKENDS.get("numpy") or _BACKENDS["python"]
+    if isinstance(backend, ClosureBackend):
+        return type(backend)
+    if isinstance(backend, type) and issubclass(backend, ClosureBackend):
+        return backend
+    try:
+        return _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown closure backend: {backend!r} (available: "
+            f"{', '.join(available_closure_backends())})"
+        ) from None
+
+
+def _register_builtin_backends() -> None:
+    register_closure_backend(PyBitsetClosure)
+    try:
+        from .closure_np import NumpyBitsetClosure
+    except ImportError:  # pragma: no cover - numpy absent
+        return
+    register_closure_backend(NumpyBitsetClosure)
+
+
+_register_builtin_backends()

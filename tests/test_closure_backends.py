@@ -1,0 +1,422 @@
+"""Cross-backend differential suite for the closure kernel.
+
+The soundness argument for swapping closure backends (DESIGN.md S10) is
+not a proof — it is this file: every registered
+:class:`~repro.utils.closure.ClosureBackend` replays *identical*
+operation scripts and must produce *identical observables* at every
+step.  Three layers:
+
+1. **Differential fuzz** — ~200 seeded random scripts (DAG-biased and
+   cyclic, constructor-seeded and ``from_rows``-seeded) interleaving
+   ``add_vertex`` / ``insert`` / ``compact`` with the full query
+   surface, replayed in lockstep against every backend with the python
+   reference as the oracle.  ``int_rows`` / ``co_rows`` must be
+   byte-identical integers, ``insert`` must return the same tri-state,
+   queries the same answers, ``co_materialized`` the same laziness.
+2. **Property-based invariants** — each backend checked against the
+   *abstract* contract, independent of any reference implementation:
+   transitivity of the closure, idempotence of known inserts,
+   ``reaches_any`` / ``successors`` consistency, and compaction
+   preserving reachability among survivors.
+3. **End-to-end parity** — ``repro.check`` over the anomaly corpus and
+   valid workloads with each backend forced: identical verdicts,
+   identical prune counters, valid witnesses, and the backend name
+   reported in ``Report.stats``.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.polygraph import RW, build_polygraph
+from repro.core.pruning import prune_constraints
+from repro.utils.closure import (
+    BACKEND_ENV,
+    CYCLE,
+    KNOWN,
+    NEW,
+    ClosureBackend,
+    PyBitsetClosure,
+    available_closure_backends,
+    resolve_closure_backend,
+)
+from repro.utils.reachability import transitive_closure_bits
+from repro.workloads.corpus import ANOMALY_TEMPLATES, make_anomaly
+from repro.workloads.generator import WorkloadParams, generate_history
+
+BACKENDS = available_closure_backends()
+OTHER_BACKENDS = [b for b in BACKENDS if b != "python"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return resolve_closure_backend(request.param)
+
+
+def bits_of(mask):
+    out = []
+    v = 0
+    while mask:
+        if mask & 1:
+            out.append(v)
+        mask >>= 1
+        v += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 1. Differential fuzz: identical scripts, identical observables.
+# ---------------------------------------------------------------------------
+
+
+def random_script(rng, *, cyclic: bool, seed_from_rows: bool):
+    """One operation script: ``(op, args)`` tuples.  ``insert`` targets
+    are forward-only (u < v) in DAG mode so cycles never form; cyclic
+    mode draws unrestricted pairs."""
+    n0 = rng.randrange(1, 10)
+    script = [("init", n0, seed_from_rows)]
+    for _ in range(rng.randrange(10, 40)):
+        roll = rng.random()
+        if roll < 0.08:
+            script.append(("add_vertex",))
+        elif roll < 0.55:
+            script.append(("insert", rng.random(), rng.random(), cyclic))
+        elif roll < 0.62:
+            script.append(("compact", rng.random()))
+        else:
+            script.append(("query", rng.random(), rng.random()))
+    return script
+
+
+class Replayer:
+    """Drives one backend through a script, returning an observable per
+    step — the differential harness compares these across backends."""
+
+    def __init__(self, backend_cls, rng_seed):
+        self.cls = backend_cls
+        self.rng = random.Random(rng_seed)
+        self.closure = None
+
+    def step(self, op):
+        kind = op[0]
+        if kind == "init":
+            _, n0, seed_from_rows = op
+            if seed_from_rows:
+                edges = [(u, v) for u in range(n0) for v in range(u + 1, n0)
+                         if self.rng.random() < 0.3]
+                adj = [set() for _ in range(n0)]
+                for u, v in edges:
+                    adj[u].add(v)
+                rows = transitive_closure_bits(n0, adj).rows
+                self.closure = self.cls.from_rows(rows)
+            else:
+                self.closure = self.cls(n0)
+            return ("init", self.closure.int_rows())
+        c = self.closure
+        n = c.num_vertices
+        if kind == "add_vertex":
+            return ("add_vertex", c.add_vertex())
+        if kind == "insert":
+            _, r1, r2, cyclic = op
+            if n == 0:
+                return ("insert", None)
+            u = int(r1 * n)
+            v = int(r2 * n)
+            if not cyclic and u >= v:
+                if u == v:
+                    return ("insert", None)
+                u, v = v, u
+            return ("insert", c.insert(u, v), c.co_materialized)
+        if kind == "compact":
+            _, r = op
+            live = [v for v in range(n)
+                    if self.rng.random() < 0.3 + 0.6 * r]
+            mapping = c.compact(live)
+            return ("compact", mapping, c.int_rows(), c.co_materialized)
+        # query: the full read surface at one (u, v) pair.
+        _, r1, r2 = op
+        if n == 0:
+            return ("query", None)
+        u = int(r1 * n)
+        v = int(r2 * n)
+        mask = (1 << v) | (1 << (n - 1 - v))
+        return (
+            "query",
+            c.has(u, v),
+            c.has_edge(u, v),
+            c.reaches_any(u, mask),
+            sorted(c.successors(u)),
+            sorted(c.successors_direct(u)),
+            c.int_rows(),
+            c.co_rows,
+        )
+
+
+@pytest.mark.parametrize("cyclic", [False, True])
+@pytest.mark.parametrize("seed_from_rows", [False, True])
+@pytest.mark.parametrize("block", range(5))
+def test_differential_fuzz(cyclic, seed_from_rows, block):
+    """~200 scripts x every backend vs the python reference, observable
+    by observable.  (5 blocks x 10 seeds x 4 script shapes.)"""
+    if not OTHER_BACKENDS:
+        pytest.skip("only the reference backend is registered")
+    for seed in range(block * 10, block * 10 + 10):
+        rng = random.Random((seed, cyclic, seed_from_rows).__hash__())
+        script = random_script(rng, cyclic=cyclic,
+                               seed_from_rows=seed_from_rows)
+        ref = Replayer(PyBitsetClosure, rng_seed=seed)
+        others = [(name, Replayer(resolve_closure_backend(name), seed))
+                  for name in OTHER_BACKENDS]
+        for step_no, op in enumerate(script):
+            want = ref.step(op)
+            for name, replayer in others:
+                got = replayer.step(op)
+                assert got == want, (name, seed, step_no, op)
+
+
+def test_differential_rows_after_dense_inserts():
+    """Dense eager construction: every backend's final rows and co_rows
+    must be byte-identical ints, and match the batch closure."""
+    rng = random.Random(99)
+    n = 40
+    edges = sorted({(rng.randrange(n), rng.randrange(n))
+                    for _ in range(300)})
+    adj = [set() for _ in range(n)]
+    closures = {name: resolve_closure_backend(name)(n) for name in BACKENDS}
+    for u, v in edges:
+        adj[u].add(v)
+        returns = {name: c.insert(u, v) for name, c in closures.items()}
+        assert len(set(returns.values())) == 1, (u, v, returns)
+    want = transitive_closure_bits(n, adj).rows
+    # Strict closure: drop self-bits the cyclic members gained... they
+    # are *kept* by the kernel; the batch closure keeps them too for
+    # SCC members, so rows agree exactly.
+    for name, c in closures.items():
+        assert c.int_rows() == want, name
+        assert c.co_rows == closures["python"].co_rows, name
+
+
+# ---------------------------------------------------------------------------
+# 2. Property-based invariants against the abstract contract.
+# ---------------------------------------------------------------------------
+
+
+def build_random(backend_cls, rng, n, m, *, dag=False):
+    c = backend_cls(n)
+    for _ in range(m):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if dag:
+            if u == v:
+                continue
+            if u > v:
+                u, v = v, u
+        c.insert(u, v)
+    return c
+
+
+class TestContractInvariants:
+    def test_transitivity(self, backend):
+        rng = random.Random(5)
+        c = build_random(backend, rng, 18, 45)
+        rows = c.int_rows()
+        for u in range(18):
+            for v in bits_of(rows[u]):
+                # Everything v reaches, u reaches through v.
+                assert rows[v] & ~rows[u] == 0, (u, v)
+
+    def test_insert_idempotent_once_known(self, backend):
+        rng = random.Random(6)
+        c = build_random(backend, rng, 14, 30)
+        rows, co = c.int_rows(), c.co_rows
+        for u in range(14):
+            for v in bits_of(rows[u]):
+                if u == v:
+                    continue
+                assert c.insert(u, v) in (KNOWN, CYCLE)
+        assert c.int_rows() == rows
+        assert c.co_rows == co
+
+    def test_insert_tristate_meaning(self, backend):
+        c = backend(3)
+        assert c.insert(0, 1) == NEW
+        assert c.insert(1, 2) == NEW
+        assert c.insert(0, 2) == KNOWN   # already implied
+        assert c.insert(2, 0) == CYCLE   # closes the loop
+        assert c.insert(0, 0) == CYCLE   # self-loop
+        for u in range(3):
+            for v in range(3):
+                assert c.has(u, v)       # one big SCC
+
+    def test_reaches_any_matches_successors(self, backend):
+        rng = random.Random(7)
+        c = build_random(backend, rng, 16, 40)
+        for u in range(16):
+            succ = set(c.successors(u))
+            assert succ == set(bits_of(c.int_rows()[u]))
+            for probe in range(8):
+                mask = rng.getrandbits(16)
+                assert c.reaches_any(u, mask) == bool(
+                    succ & set(bits_of(mask))
+                ), (u, mask)
+
+    def test_successors_direct_subset_of_closure(self, backend):
+        rng = random.Random(8)
+        c = build_random(backend, rng, 16, 40, dag=True)
+        for u in range(16):
+            assert set(c.successors_direct(u)) <= set(c.successors(u))
+            for v in c.successors_direct(u):
+                assert c.has_edge(u, v)
+
+    def test_compact_preserves_live_reachability(self, backend):
+        rng = random.Random(9)
+        for trial in range(10):
+            c = build_random(backend, rng, 15, 35)
+            before = c.int_rows()
+            live = sorted(rng.sample(range(15), rng.randrange(1, 15)))
+            mapping = c.compact(live)
+            for old_u in live:
+                for old_v in live:
+                    want = bool(before[old_u] >> old_v & 1)
+                    got = c.has(mapping[old_u], mapping[old_v])
+                    assert got == want, (trial, old_u, old_v)
+
+    def test_out_of_range_queries(self, backend):
+        c = backend(2)
+        c.insert(0, 1)
+        for fn in (c.has, c.has_edge):
+            with pytest.raises(IndexError):
+                fn(2, 0)
+            assert fn(0, 99) is False
+        with pytest.raises(IndexError):
+            c.reaches_any(2, 1)
+        with pytest.raises(IndexError):
+            c.insert(0, 2)
+
+    def test_int_rows_is_the_portable_serialization(self, backend):
+        rng = random.Random(10)
+        c = build_random(backend, rng, 12, 25)
+        reseeded = PyBitsetClosure.from_rows(c.int_rows())
+        assert reseeded.int_rows() == c.int_rows()
+        assert reseeded.co_rows == c.co_rows
+
+
+# ---------------------------------------------------------------------------
+# Registry resolution.
+# ---------------------------------------------------------------------------
+
+
+class TestBackendRegistry:
+    def test_names_and_classes_resolve(self):
+        for name in BACKENDS:
+            cls = resolve_closure_backend(name)
+            assert issubclass(cls, ClosureBackend)
+            assert cls.name == name
+            assert resolve_closure_backend(cls) is cls
+            assert resolve_closure_backend(cls(2)) is cls
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert resolve_closure_backend() is PyBitsetClosure
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        for name in BACKENDS:
+            assert resolve_closure_backend(name).name == name
+
+    def test_auto_prefers_numpy_when_registered(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        expected = "numpy" if "numpy" in BACKENDS else "python"
+        assert resolve_closure_backend().name == expected
+        assert resolve_closure_backend("auto").name == expected
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="python"):
+            resolve_closure_backend("fortran")
+
+
+# ---------------------------------------------------------------------------
+# 3. End-to-end parity: repro.check with each backend forced.
+# ---------------------------------------------------------------------------
+
+
+def assert_witness_valid(cycle):
+    """A witness must be a closed cycle with no adjacent RW edges."""
+    assert cycle
+    for edge, nxt in zip(cycle, cycle[1:] + cycle[:1]):
+        assert edge[1] == nxt[0], cycle
+    labels = [e[2] for e in cycle]
+    for a, b in zip(labels, labels[1:] + labels[:1]):
+        assert not (a == RW and b == RW), cycle
+
+
+def comparable(report):
+    """Everything that must match across backends: the verdict, the
+    deciding stage, evidence, and every stat except the backend name."""
+    stats = {k: v for k, v in report.stats.items()
+             if k != "closure_backend"}
+    return (report.ok, report.decided_by, report.cycle,
+            [repr(a) for a in report.anomalies], stats)
+
+
+class TestEndToEndParity:
+    @pytest.mark.parametrize("name", sorted(ANOMALY_TEMPLATES))
+    def test_anomaly_corpus_batch(self, name):
+        for seed in (0, 3):
+            history = make_anomaly(name, seed=seed, padding_txns=5)
+            reports = {}
+            for b in BACKENDS:
+                report = repro.check(history, closure_backend=b)
+                assert not report.ok, (name, b)
+                assert report.stats["closure_backend"] == b
+                if report.cycle:
+                    assert_witness_valid(report.cycle)
+                reports[b] = comparable(report)
+            assert len(set(map(repr, reports.values()))) == 1, reports
+
+    def test_valid_workload_all_modes(self):
+        params = WorkloadParams(sessions=4, txns_per_session=15,
+                                ops_per_txn=5, keys=50)
+        history = generate_history(params, seed=2).history
+        for mode in ("batch", "online"):
+            reports = {}
+            for b in BACKENDS:
+                report = repro.check(history, mode=mode, closure_backend=b)
+                assert report.ok, (mode, b)
+                assert report.stats["closure_backend"] == b
+                reports[b] = comparable(report)
+            assert len(set(map(repr, reports.values()))) == 1, (mode, reports)
+
+    def test_online_anomaly_parity(self):
+        history = make_anomaly("lost-update", seed=1, padding_txns=4)
+        reports = {}
+        for b in BACKENDS:
+            report = repro.check(history, mode="online", closure_backend=b)
+            assert not report.ok, b
+            assert report.stats["closure_backend"] == b
+            reports[b] = comparable(report)
+        assert len(set(map(repr, reports.values()))) == 1, reports
+
+    def test_prune_counters_identical(self):
+        """PruneResult counters (not just verdicts) must agree."""
+        for name in ("long-fork", "lost-update", "read-skew"):
+            history = make_anomaly(name, seed=5, padding_txns=8)
+            results = {}
+            for b in BACKENDS:
+                graph, violations = build_polygraph(history)
+                if violations:
+                    break
+                results[b] = prune_constraints(graph, backend=b).as_dict()
+            if results:
+                assert len({repr(r) for r in results.values()}) == 1, results
+
+    def test_default_backend_reported(self):
+        history = generate_history(
+            WorkloadParams(sessions=3, txns_per_session=8, ops_per_txn=4,
+                           keys=30), seed=4).history
+        report = repro.check(history)
+        assert report.stats["closure_backend"] in BACKENDS
+
+    def test_checker_rejects_unknown_backend(self):
+        with pytest.raises(Exception, match="fortran"):
+            repro.Checker(closure_backend="fortran")

@@ -21,7 +21,7 @@ from repro.core.pruning import (
     prune_constraints,
     prune_constraints_recompute,
 )
-from repro.utils.closure import IncrementalClosure
+from repro.utils.closure import ClosureBackend
 from repro.utils.reachability import transitive_closure_bits
 from repro.workloads.corpus import ANOMALY_TEMPLATES, make_anomaly
 from repro.workloads.generator import WorkloadParams, generate_history
@@ -158,7 +158,7 @@ class TestPruneState:
 
         state.add_known((2, 0, WW, "z"))
         state.add_known((1, 2, RW, "z"))
-        rows = state.reach.rows
+        rows = state.reach.int_rows()
         # Recompute from scratch over the same known edges.
         from repro.core.pruning import _induced_adjacency, _known_adjacency
 
@@ -194,7 +194,7 @@ class TestPruneState:
         for i in range(39):
             bulk.add_known((i, i + 1, WW, f"k{i}"))
         assert len(bulk._pending) == 39  # over the bulk threshold
-        rows_bulk = list(bulk.reach.rows)
+        rows_bulk = bulk.reach.int_rows()
 
         step_graph = chain_graph()
         step = PruneState(step_graph)
@@ -202,7 +202,7 @@ class TestPruneState:
             step.add_known((i, i + 1, WW, f"k{i}"))
             assert len(step._pending) == 1  # per-edge insert path
             step.reach
-        rows_step = list(step.reach.rows)
+        rows_step = step.reach.int_rows()
 
         dep, antidep = _known_adjacency(bulk_graph)
         fresh = transitive_closure_bits(
@@ -235,12 +235,12 @@ class TestSharedKernelRouting:
         from repro.online.checker import OnlineChecker
 
         checker = OnlineChecker()
-        assert isinstance(checker._ki, IncrementalClosure)
+        assert isinstance(checker._ki, ClosureBackend)
 
     def test_prune_state_uses_shared_kernel(self):
         graph, _ = build_polygraph(_tiny_history())
         state = PruneState(graph)
-        assert isinstance(state.reach, IncrementalClosure)
+        assert isinstance(state.reach, ClosureBackend)
 
     def test_parallel_partition_uses_prune_state(self):
         import inspect
