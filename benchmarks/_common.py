@@ -52,6 +52,24 @@ def record_sweep_verdicts(report, sweeps) -> None:
             report.count_verdict("si" if ok else "violation")
 
 
+def note_stage_seconds(report, subject, **check_kwargs) -> dict:
+    """Run one traced façade check of ``subject`` and record its
+    per-stage span totals as ``derived.stage_seconds``.
+
+    The totals ride in the free-form ``derived`` block of the bench
+    report, so the ``repro-bench/1`` *point* schema is unchanged — the
+    perf trajectory stays comparable across PRs while each BENCH file
+    gains a stage-level cost breakdown of one representative check."""
+    from repro import check
+    from repro.obs import stage_seconds
+
+    result = check(subject, **check_kwargs)
+    totals = {name: round(seconds, 6) for name, seconds
+              in sorted(stage_seconds(result.stats["trace"]).items())}
+    report.note("stage_seconds", totals)
+    return totals
+
+
 #: Figure 6/7 base configuration (the paper: 20 sess x 100 txns x 15 ops,
 #: 50% reads, 10k keys, zipfian — scaled for Python).
 BASE = {

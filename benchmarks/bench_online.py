@@ -33,7 +33,7 @@ import time
 
 import pytest
 
-from _common import scaled
+from _common import note_stage_seconds, scaled
 from repro.bench.harness import render_table
 from repro.bench.results import BenchReport
 from repro.utils.closure import available_closure_backends
@@ -148,6 +148,11 @@ def main():
             report.add_point(f"online/8[{backend}]", len(txns),
                              seconds=per_txn, axis="txns")
         rows.append(cells)
+    # Stage-level cost breakdown of one traced online replay (DESIGN S11).
+    builder = HistoryBuilder()
+    for session, ops, status in stream_txns(SIZES[0]):
+        builder.txn(session, ops, status=status)
+    note_stage_seconds(report, builder.build(), mode="online", solve_every=8)
     print("\nOnline vs repeated-batch checking (amortized ms per txn)")
     print(render_table(
         ["txns", "online", "online/8", "online+win",

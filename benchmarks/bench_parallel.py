@@ -24,7 +24,7 @@ import time
 
 import pytest
 
-from _common import scaled
+from _common import note_stage_seconds, scaled
 from repro.bench.harness import render_table
 from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
@@ -156,6 +156,11 @@ def main(argv=None):
     ))
     best = max(speedups.values())
     report.note("best_speedup", round(best, 2))
+    # Stage-level cost breakdown of one traced parallel check (DESIGN
+    # S11); oversubscribed so the pool path runs even on 1-CPU runners.
+    note_stage_seconds(report, multi_component_history(groups=2,
+                                                       txns_per_group=60),
+                       mode="parallel", workers=2, oversubscribe=True)
     print(f"best speedup: {best:.2f}x "
           f"({'meets' if best >= 1.5 else 'below'} the 1.5x bar)")
     print(f"results: {report.write()}")

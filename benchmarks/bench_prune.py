@@ -39,7 +39,7 @@ import time
 
 import pytest
 
-from _common import scaled
+from _common import note_stage_seconds, scaled
 from repro.bench.harness import render_table
 from repro.bench.results import BenchReport
 from repro.core.history import HistoryBuilder, R, W
@@ -62,6 +62,11 @@ NUMPY_SPEEDUP_BAR = 3.0
 #: insert propagates ~n/2 ancestor rows on average — the regime batch
 #: pruning reaches on large histories, where the bulk row OR dominates.
 KERNEL_CASCADE_N = scaled(2048, minimum=256)
+
+#: DESIGN.md S11 budget: the *disabled* observability path (no ambient
+#: tracer/registry installed — what every non-traced caller pays) must
+#: cost < 2% of the cascade fixpoint's wall time.
+TRACE_OVERHEAD_BAR_PCT = 2.0
 
 
 def cascade_history(pairs: int):
@@ -209,6 +214,45 @@ def test_kernel_cascade_backends_agree():
         assert got == reference, backend
 
 
+def disabled_trace_overhead_pct(history) -> float:
+    """Measured cost of the *disabled* observability path on the cascade
+    fixpoint, as a percentage of its wall time.
+
+    The library is instrumented unconditionally, so the disabled cost is
+    the no-op ``trace_span`` / ``counter`` calls the fixpoint makes.  We
+    count those calls on an enabled run of the same corpus (recorded
+    spans + published counters), micro-benchmark the per-call no-op cost
+    with nothing installed, and take the ratio against the disabled
+    wall time from :func:`best_of`."""
+    from repro.obs import (MetricsRegistry, Tracer, counter, trace_span,
+                           use_metrics, use_tracer)
+
+    disabled_seconds, _result = best_of(prune_constraints, history)
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    graph, _violations = build_polygraph(history)
+    with use_tracer(tracer), use_metrics(registry):
+        prune_constraints(graph)
+    payload = tracer.payload(metrics=registry.snapshot())
+    obs_calls = (len(payload["spans"]) + payload["dropped"]
+                 + len(payload["metrics"]["counters"]))
+
+    reps = 20_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        with trace_span("noop"):
+            pass
+    span_cost = (time.perf_counter() - start) / reps
+    start = time.perf_counter()
+    for _ in range(reps):
+        counter("noop").inc()
+    counter_cost = (time.perf_counter() - start) / reps
+
+    disabled_cost = obs_calls * max(span_cost, counter_cost)
+    return 100.0 * disabled_cost / disabled_seconds
+
+
 def main():
     backends = available_closure_backends()
     report = BenchReport("prune", config={
@@ -277,6 +321,19 @@ def main():
         report.note("kernel_speedup_numpy", round(kernel_speedup, 2))
         report.note("numpy_bar_met", numpy_bar_met)
 
+    # Stage-level cost breakdown of one traced batch check (DESIGN S11).
+    note_stage_seconds(report, CORPORA["cascade"]())
+    # ... and the disabled-overhead budget gate: the no-op observability
+    # path must cost < 2% of the cascade fixpoint.
+    overhead_pct = disabled_trace_overhead_pct(CORPORA["cascade"]())
+    trace_bar_met = overhead_pct < TRACE_OVERHEAD_BAR_PCT
+    report.note("trace_overhead_pct", round(overhead_pct, 3))
+    report.note("trace_overhead_bar_met", trace_bar_met)
+    assert trace_bar_met, (
+        f"disabled observability overhead {overhead_pct:.2f}% breaches "
+        f"the {TRACE_OVERHEAD_BAR_PCT:.0f}% budget (DESIGN.md S11)"
+    )
+
     print("\nIncremental vs recompute-per-iteration pruning "
           f"(best of {ROUNDS}, seconds)")
     print(render_table(
@@ -298,6 +355,8 @@ def main():
         print(f"numpy kernel speedup: "
               f"{kernel_seconds['python'] / kernel_seconds['numpy']:.2f}x "
               f"({bar} the {NUMPY_SPEEDUP_BAR:.0f}x bar)")
+    print(f"disabled observability overhead: {overhead_pct:.3f}% of the "
+          f"cascade fixpoint (budget {TRACE_OVERHEAD_BAR_PCT:.0f}%)")
     path = report.write()
     print(f"results: {path}")
 

@@ -14,7 +14,7 @@ import functools
 
 import pytest
 
-from _common import record_sweep_verdicts, scaled
+from _common import note_stage_seconds, record_sweep_verdicts, scaled
 from repro.bench.harness import Sweep, render_series
 from repro.bench.results import BenchReport
 from repro.core.checker import PolySIChecker
@@ -93,6 +93,9 @@ def main():
     report.add_sweeps([whole_sweep, seg_sweep], axis="txns_per_session",
                       xs=TXNS_PER_SESSION)
     record_sweep_verdicts(report, [whole_sweep, seg_sweep])
+    # Stage-level cost breakdown of one traced segmented check (DESIGN S11).
+    note_stage_seconds(report, segmented_run(TXNS_PER_SESSION[0]),
+                       mode="segmented")
     print(f"results: {report.write()}")
 
 

@@ -30,6 +30,13 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    trace_span,
+    use_metrics,
+    use_tracer,
+)
 from .engines import register_builtin_engines
 from .options import MODE_OPTIONS, OPTION_DOCS, CheckOptions
 from .registry import (
@@ -140,11 +147,33 @@ class Checker:
 
     def check(self, subject) -> Report:
         """Check one history (or SegmentedRun / ListHistory, per mode and
-        isolation) and return the unified :class:`Report`."""
-        native = self.spec.runner(subject, self.isolation, self.mode,
-                                  self.options)
-        return adapt_result(native, isolation=self.isolation,
-                            mode=self.mode, engine=self.engine)
+        isolation) and return the unified :class:`Report`.
+
+        Unless ``trace=False``, the whole run executes under a fresh
+        :class:`~repro.obs.Tracer` and :class:`~repro.obs.MetricsRegistry`;
+        the resulting ``repro-trace/1`` payload (span tree + metrics
+        snapshot, see :func:`repro.obs.validate_trace`) is attached as
+        ``Report.stats["trace"]``.
+        """
+        if not self.options.trace:
+            native = self.spec.runner(subject, self.isolation, self.mode,
+                                      self.options)
+            return adapt_result(native, isolation=self.isolation,
+                                mode=self.mode, engine=self.engine)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(registry):
+            with trace_span("check", isolation=self.isolation,
+                            engine=self.engine):
+                native = self.spec.runner(subject, self.isolation,
+                                          self.mode, self.options)
+        report = adapt_result(native, isolation=self.isolation,
+                              mode=self.mode, engine=self.engine)
+        report.stats["trace"] = tracer.payload(
+            mode=self.mode, engine=self.engine,
+            metrics=registry.snapshot(),
+        )
+        return report
 
     def __repr__(self) -> str:
         return (f"Checker(isolation={self.isolation!r}, mode={self.mode!r}, "

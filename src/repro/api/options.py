@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, Optional
 
-__all__ = ["CheckOptions", "MODE_OPTIONS", "OPTION_DOCS"]
+__all__ = ["CheckOptions", "FACADE_OPTIONS", "MODE_OPTIONS", "OPTION_DOCS"]
+
+#: Options consumed by the façade itself, before any engine sees them.
+#: They are valid for every (engine, mode) combination and are never
+#: validated against — or forwarded to — the engine's option schema.
+FACADE_OPTIONS: frozenset = frozenset({"trace"})
 
 
 #: Options that are only meaningful under specific checking modes.  An
@@ -54,6 +59,8 @@ OPTION_DOCS: Dict[str, str] = {
     "max_states": "dbcop: frontier-search state budget",
     "max_orders": "naive SI oracle: version-order enumeration budget",
     "max_txns": "naive SER oracle: transaction-count budget",
+    "trace": ("record a repro-trace/1 span tree + metrics snapshot into "
+              "Report.stats['trace'] (default True; façade-level)"),
 }
 
 
@@ -91,6 +98,10 @@ class CheckOptions:
     max_states: int = 2_000_000
     max_orders: int = 2_000_000
     max_txns: int = 9
+
+    # Façade-level observability (see FACADE_OPTIONS): collect a span
+    # trace + metrics snapshot for the check into Report.stats["trace"].
+    trace: bool = True
 
     def __post_init__(self) -> None:
         if self.closure not in ("bits", "numpy"):

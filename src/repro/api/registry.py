@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
-from .options import OPTION_DOCS, CheckOptions
+from .options import FACADE_OPTIONS, OPTION_DOCS, CheckOptions
 
 __all__ = [
     "ISOLATION_LEVELS",
@@ -116,6 +116,10 @@ class EngineSpec:
         """Reject non-default options this engine or combo never reads."""
         allowed = self.options_of(isolation, mode)
         for name in sorted(options.changed()):
+            if name in FACADE_OPTIONS:
+                # Consumed by the façade before the engine runs; valid
+                # (and meaningful) for every combination.
+                continue
             if name not in self.options:
                 supported = ", ".join(sorted(self.options)) or "none"
                 raise UnsupportedOptionError(

@@ -172,9 +172,21 @@ class Report:
 
 
 def _jsonable(value):
-    """Best-effort conversion of stats payloads to JSON-safe values."""
+    """Best-effort conversion of stats payloads to JSON-safe values.
+
+    JSON objects only take string keys, so non-string dict keys (int
+    shard ids, tuple combo keys, ...) are stringified — and because the
+    source dict's insertion order then no longer means anything, mixed
+    or non-string keys are emitted in sorted (stringified) order so the
+    output is deterministic regardless of how the dict was built.
+    All-string-keyed dicts keep their insertion order untouched.
+    """
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        if all(isinstance(k, str) for k in value):
+            return {k: _jsonable(v) for k, v in value.items()}
+        items = [(str(k), _jsonable(v)) for k, v in value.items()]
+        items.sort(key=lambda kv: kv[0])
+        return dict(items)
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:

@@ -37,12 +37,22 @@ Exit-code contract (every command):
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import time
 from typing import Optional, Sequence
 
 from .api import Checker, CheckerError, adapt_result
 from .api import check as facade_check
 from .api import describe_engines, engine_names
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    use_metrics,
+    use_tracer,
+    write_chrome_trace,
+)
 from .collect import (
     ADAPTERS,
     INJECTION_PROFILES,
@@ -178,6 +188,19 @@ def _resolve_check_mode(args) -> None:
             args.workers = args.parallel
 
 
+def _write_trace(report, path: str) -> None:
+    """Write the report's ``repro-trace/1`` payload as a Chrome
+    ``trace_event`` JSON file (open it in Perfetto / chrome://tracing)."""
+    payload = report.stats.get("trace")
+    if payload is None:
+        raise CLIError(
+            "--trace requires tracing to be enabled (it is by default; "
+            "the selected checker recorded no trace payload)"
+        )
+    write_chrome_trace(payload, path)
+    print(f"trace written to {path}")
+
+
 def cmd_check(args) -> int:
     """``repro check``: façade verdict + timings; optional
     interpretation."""
@@ -202,6 +225,8 @@ def cmd_check(args) -> int:
     checker = Checker(args.isolation, args.mode, args.engine, **options)
     history = load_history(args.history, fmt=args.format)
     report = checker.check(history)
+    if args.trace:
+        _write_trace(report, args.trace)
     return _render_report(report, explain=args.explain, dot=args.dot)
 
 
@@ -211,12 +236,28 @@ def cmd_engines(args) -> int:
     return 0
 
 
+def _emit_stats_line(registry: MetricsRegistry, seen: int) -> None:
+    """One-line live-metrics status (``watch --stats-interval``)."""
+    gauges = registry.snapshot()["gauges"]
+    print(
+        f"[stats] txns={seen} "
+        f"live={gauges.get('online.live', 0)} "
+        f"unresolved={gauges.get('online.unresolved', 0)} "
+        f"solves={gauges.get('online.solves', 0)} "
+        f"evicted={gauges.get('window.evicted', 0)} "
+        f"conflicts={gauges.get('solver.conflicts', 0)}"
+    )
+
+
 def cmd_watch(args) -> int:
     """``repro watch``: online-check a live transaction stream.
 
     Generates a workload, runs it against the bundled store (optionally
     with a fault profile), and feeds each transaction to the incremental
-    checker as it commits — stopping at the first violation.
+    checker as it commits — stopping at the first violation.  With
+    ``--trace`` the whole stream is span-traced and written as a Chrome
+    trace; ``--stats-interval S`` prints a one-line metrics snapshot
+    every S seconds.
     """
     spec = generate_workload(_params(args), seed=args.seed)
     faults = DATABASE_PROFILES[args.profile]["faults"] if args.profile else None
@@ -230,23 +271,48 @@ def cmd_watch(args) -> int:
         sessions=range(args.sessions) if window else None,
         closure_backend=args.closure_backend,
     )
+    tracer = Tracer() if args.trace else None
+    registry = (MetricsRegistry()
+                if args.trace or args.stats_interval else None)
     seen = 0
-    for session, ops, status in stream_workload(db, spec, seed=args.seed):
-        result = checker.add(session, ops, status=status)
-        seen += 1
-        if not result.satisfies_si:
-            print(f"violation after {seen} transaction(s):")
-            return _render_report(adapt_result(
-                result, isolation="si", mode="online", engine="polysi"))
-        if args.report_every and seen % args.report_every == 0:
-            print(
-                f"{seen} txns: SI so far; live={checker.live_transactions} "
-                f"unresolved={checker.unresolved_constraints} "
-                f"({1000 * result.total_time / max(1, seen):.2f} ms/txn)"
-            )
-    result = checker.finish()
+    violated = False
+    last_stats = time.monotonic()
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if registry is not None:
+            stack.enter_context(use_metrics(registry))
+        for session, ops, status in stream_workload(db, spec, seed=args.seed):
+            result = checker.add(session, ops, status=status)
+            seen += 1
+            if not result.satisfies_si:
+                violated = True
+                break
+            if args.stats_interval and registry is not None:
+                now = time.monotonic()
+                if now - last_stats >= args.stats_interval:
+                    _emit_stats_line(registry, seen)
+                    last_stats = now
+            if args.report_every and seen % args.report_every == 0:
+                print(
+                    f"{seen} txns: SI so far; "
+                    f"live={checker.live_transactions} "
+                    f"unresolved={checker.unresolved_constraints} "
+                    f"({1000 * result.total_time / max(1, seen):.2f} ms/txn)"
+                )
+        if not violated:
+            result = checker.finish()
     report = adapt_result(result, isolation="si", mode="online",
                           engine="polysi")
+    if tracer is not None:
+        report.stats["trace"] = tracer.payload(
+            mode="online", engine="polysi",
+            metrics=registry.snapshot() if registry is not None else None,
+        )
+        _write_trace(report, args.trace)
+    if violated:
+        print(f"violation after {seen} transaction(s):")
+        return _render_report(report)
     code = _render_report(report)
     print(
         f"checked {result.stats['accepted']} committed transactions in "
@@ -298,6 +364,8 @@ def cmd_collect(args) -> int:
     if args.out:
         dump_history(run.history, args.out, fmt=args.format)
         print(f"wrote {args.out}")
+    if args.trace and not (args.check or args.parallel):
+        args.check = True
     if not args.check and not args.parallel:
         return 0
     if args.parallel:
@@ -305,6 +373,8 @@ def cmd_collect(args) -> int:
                               workers=args.parallel)
     else:
         report = facade_check(run.history)
+    if args.trace:
+        _write_trace(report, args.trace)
     return _render_report(report, explain=not report.ok, dot=args.dot)
 
 
@@ -425,6 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PolySI reproduction: black-box snapshot-isolation checking",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        dest="verbosity",
+                        help="raise repro.* log verbosity (-v: INFO, "
+                             "-vv: DEBUG)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        dest="quietness",
+                        help="lower repro.* log verbosity (errors only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("check", help="check a history file")
@@ -455,6 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_closure_backends(),
                    help="incremental-closure kernel (default: "
                         "$REPRO_CLOSURE_BACKEND, else numpy if available)")
+    p.add_argument("--trace", metavar="OUT",
+                   help="write the check's span trace as Chrome "
+                        "trace_event JSON (open in Perfetto)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -481,6 +561,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_closure_backends(),
                    help="incremental-closure kernel (default: "
                         "$REPRO_CLOSURE_BACKEND, else numpy if available)")
+    p.add_argument("--trace", metavar="OUT",
+                   help="write the stream's span trace as Chrome "
+                        "trace_event JSON (open in Perfetto)")
+    p.add_argument("--stats-interval", type=float, default=0, metavar="S",
+                   help="print a one-line metrics snapshot every S "
+                        "seconds (0: off)")
     p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(
@@ -514,6 +600,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--parallel", type=_positive_int, metavar="N",
                    help="check with N worker processes (implies --check)")
     p.add_argument("--dot", help="write the counterexample DOT here")
+    p.add_argument("--trace", metavar="OUT",
+                   help="write the check's span trace as Chrome "
+                        "trace_event JSON (implies --check)")
     p.set_defaults(func=cmd_collect)
 
     p = sub.add_parser("generate", help="generate and record a workload")
@@ -552,6 +641,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     see the module docstring)."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbosity - args.quietness)
     try:
         return args.func(args)
     except (CLIError, CheckerError, OSError, ValueError,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional
 
+from ..obs import get_logger, trace_span
 from ..utils.closure import resolve_closure_backend
 from ..utils.reachability import (
     Reachability,
@@ -40,6 +41,8 @@ __all__ = [
     "check_snapshot_isolation",
     "static_induced_cycle",
 ]
+
+log = get_logger("core.checker")
 
 _CLOSURES: dict = {
     "bits": transitive_closure_bits,
@@ -210,7 +213,9 @@ class PolySIChecker:
         """
         if self.check_axioms_first:
             t0 = time.perf_counter()
-            anomalies = check_axioms(history)
+            with trace_span("axioms", txns=len(history)) as span:
+                anomalies = check_axioms(history)
+                span.set(violations=len(anomalies))
             result.timings["axioms"] = time.perf_counter() - t0
             if anomalies:
                 result.satisfies_si = False
@@ -219,9 +224,13 @@ class PolySIChecker:
                 return None
 
         t0 = time.perf_counter()
-        graph, construction_anomalies = build_polygraph(
-            history, compact=self.compact, initial_values=self.initial_values
-        )
+        with trace_span("construct", txns=len(history)) as span:
+            graph, construction_anomalies = build_polygraph(
+                history, compact=self.compact,
+                initial_values=self.initial_values
+            )
+            span.set(vertices=graph.num_vertices,
+                     constraints=len(graph.constraints))
         result.timings["construct"] = time.perf_counter() - t0
         result.polygraph = graph.copy()
         if construction_anomalies:
@@ -250,24 +259,34 @@ class PolySIChecker:
         result.stats["closure_backend"] = self.closure_backend
         if self.prune:
             t0 = time.perf_counter()
-            prune_result = prune_constraints(graph, closure=self.closure,
-                                             backend=self.closure_backend)
+            with trace_span("prune", backend=self.closure_backend) as span:
+                prune_result = prune_constraints(
+                    graph, closure=self.closure, backend=self.closure_backend)
+                span.set(iterations=prune_result.iterations,
+                         pruned=prune_result.pruned)
             result.timings["prune"] = time.perf_counter() - t0
             result.prune_result = prune_result
             if not prune_result.ok:
                 result.satisfies_si = False
                 result.decided_by = "pruning"
                 result.cycle = prune_result.violation_cycle
+                log.info("violation decided by pruning (%d iterations)",
+                         prune_result.iterations)
                 return result
+            log.debug("pruned %d/%d constraints in %d iteration(s)",
+                      prune_result.pruned, prune_result.constraints_before,
+                      prune_result.iterations)
 
         # Serial fast path: constraint-free components never reach the
         # solver.  Every edge (known or constrained) is intra-component,
         # so a cycle lives entirely inside one component and the verdict
         # is the conjunction of per-part verdicts.
         t0 = time.perf_counter()
-        components, constraints_of = graph.constrained_components()
-        constrained = [bool(cons) for cons in constraints_of]
-        skipped = constrained.count(False)
+        with trace_span("decompose") as span:
+            components, constraints_of = graph.constrained_components()
+            constrained = [bool(cons) for cons in constraints_of]
+            skipped = constrained.count(False)
+            span.set(components=len(components), skipped=skipped)
         result.stats["components"] = len(components)
         result.stats["solver_skipped_components"] = skipped
         result.timings["decompose"] = time.perf_counter() - t0
@@ -276,12 +295,13 @@ class PolySIChecker:
             # Mixed graph: acyclicity-check the pure part on its own so
             # the encoding only ever sees constrained components.
             t0 = time.perf_counter()
-            pure_vertices = [
-                v for ci, comp in enumerate(components)
-                if not constrained[ci] for v in comp
-            ]
-            pure, pure_old = graph.subgraph(pure_vertices)
-            cycle = static_induced_cycle(pure)
+            with trace_span("decompose", part="pure"):
+                pure_vertices = [
+                    v for ci, comp in enumerate(components)
+                    if not constrained[ci] for v in comp
+                ]
+                pure, pure_old = graph.subgraph(pure_vertices)
+                cycle = static_induced_cycle(pure)
             result.timings["decompose"] += time.perf_counter() - t0
             if cycle is not None:
                 result.satisfies_si = False
@@ -292,7 +312,8 @@ class PolySIChecker:
         if not graph.constraints:
             # Pure known graph: one acyclicity check decides everything.
             t0 = time.perf_counter()
-            cycle = static_induced_cycle(graph)
+            with trace_span("decompose", part="static"):
+                cycle = static_induced_cycle(graph)
             result.timings["decompose"] += time.perf_counter() - t0
             if cycle is not None:
                 result.satisfies_si = False
@@ -313,7 +334,9 @@ class PolySIChecker:
             enc_graph, enc_old = graph, None
 
         t0 = time.perf_counter()
-        encoding = encode_polygraph(enc_graph)
+        with trace_span("encode") as span:
+            encoding = encode_polygraph(enc_graph)
+            span.set(**encoding.stats())
         result.timings["encode"] = time.perf_counter() - t0
         result.encoding = encoding
         if encoding.static_cycle:
@@ -325,17 +348,24 @@ class PolySIChecker:
             return result
 
         t0 = time.perf_counter()
-        acyclic = encoding.solver.solve()
+        with trace_span("solve") as span:
+            acyclic = encoding.solver.solve()
+            span.set(acyclic=acyclic, **encoding.solver.stats.as_dict())
         result.timings["solve"] = time.perf_counter() - t0
         result.solver_stats = encoding.solver.stats.as_dict()
         result.decided_by = "solving"
+        log.debug("solver verdict: %s (%d conflicts)",
+                  "acyclic" if acyclic else "cyclic",
+                  encoding.solver.stats.conflicts)
         if acyclic:
             result.satisfies_si = True
             return result
 
         result.satisfies_si = False
         t0 = time.perf_counter()
-        result.cycle = _map_cycle(extract_violation_cycle(encoding), enc_old)
+        with trace_span("explain"):
+            result.cycle = _map_cycle(extract_violation_cycle(encoding),
+                                      enc_old)
         result.timings["explain"] = time.perf_counter() - t0
         return result
 

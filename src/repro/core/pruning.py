@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import counter as obs_counter, trace_span
 from ..utils.closure import ClosureBackend, resolve_closure_backend
 from ..utils.reachability import Reachability, transitive_closure_bits
 from .polygraph import Constraint, Edge, GeneralizedPolygraph, RW, WW, DEP_LABELS
@@ -388,18 +389,33 @@ def prune_constraints(
     result.unknown_deps_before = graph.num_unknown_deps
 
     state = PruneState(graph, closure=closure, backend=backend)
-    while True:
-        result.iterations += 1
-        decisions = classify_constraints(
-            graph.constraints, state.reach, state.dep_preds
-        )
-        changed = apply_decisions(graph, decisions, result, state=state)
-        if not result.ok or not changed:
-            break
+    with trace_span("prune-fixpoint", backend=state.backend_name,
+                    constraints=result.constraints_before) as span:
+        while True:
+            result.iterations += 1
+            with trace_span("classify", iteration=result.iterations):
+                decisions = classify_constraints(
+                    graph.constraints, state.reach, state.dep_preds
+                )
+            changed = apply_decisions(graph, decisions, result, state=state)
+            if not result.ok or not changed:
+                break
+        span.set(iterations=result.iterations, pruned=result.pruned)
+        _publish_closure_counters(state.reach, state.backend_name, span)
 
     result.constraints_after = graph.num_constraints
     result.unknown_deps_after = graph.num_unknown_deps
     return result
+
+
+def _publish_closure_counters(reach, backend_name, span) -> None:
+    """Snapshot the closure kernel's insert/compact/query counters onto
+    the enclosing span and the ambient metrics registry."""
+    counters = reach.counters()
+    span.set(**{f"closure_{k}": v for k, v in counters.items()})
+    for name, value in counters.items():
+        if value:
+            obs_counter(f"closure.{backend_name}.{name}").inc(value)
 
 
 def prune_constraints_recompute(

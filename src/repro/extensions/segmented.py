@@ -36,6 +36,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.checker import CheckResult, PolySIChecker
+from ..obs import trace_span
 from ..core.history import (
     ABORTED,
     COMMITTED,
@@ -272,7 +273,10 @@ def _check_segmented(
         checker = PolySIChecker(
             initial_values=segment.initial_values, **checker_options
         )
-        segment_result = checker.check(history)
+        with trace_span("segment", index=segment.index,
+                        txns=len(segment.txns)) as span:
+            segment_result = checker.check(history)
+            span.set(satisfies_si=segment_result.satisfies_si)
         result.segment_results.append(segment_result)
         if not segment_result.satisfies_si:
             result.satisfies_si = False

@@ -53,9 +53,12 @@ from ..core.history import (
 )
 from ..core.polygraph import Edge, RW, SO, WR, WW
 from ..core.pruning import branch_impossible, find_known_cycle
+from ..obs import current_metrics, get_logger, trace_span
 from ..solver.monosat import AcyclicGraphSolver
 from ..utils.closure import CYCLE, resolve_closure_backend
 from .window import WindowPolicy, WindowStats
+
+log = get_logger("online")
 
 __all__ = ["OnlineChecker", "OnlineResult"]
 
@@ -331,6 +334,12 @@ class OnlineChecker:
     def _ingest(self, session: int, ops: Sequence[Operation], status: str) -> None:
         if self._violation is not None:
             return
+        with trace_span("event", session=session, status=status):
+            self._ingest_event(session, ops, status)
+        self._publish_metrics()
+
+    def _ingest_event(self, session: int, ops: Sequence[Operation],
+                      status: str) -> None:
         if (self.sessions is not None and status == COMMITTED
                 and session not in self.sessions):
             raise ValueError(
@@ -390,7 +399,8 @@ class OnlineChecker:
 
         if self.prune and self._violation is None:
             t1 = time.perf_counter()
-            self._prune_fixpoint()
+            with trace_span("prune", unresolved=len(self._unresolved)):
+                self._prune_fixpoint()
             self._timings["prune"] = (
                 self._timings.get("prune", 0.0) + time.perf_counter() - t1
             )
@@ -732,34 +742,37 @@ class OnlineChecker:
         if not self._solver_dirty:
             return  # nothing changed since the last (SAT) solve
         t0 = time.perf_counter()
-        if (self._solver is not None and self._solver.num_vars > 64
-                and self._solver.num_vars > 3 * len(self._unresolved)):
-            # Mostly-stale instance: resolved constraints left behind
-            # unassigned variables that every solve must still decide.
-            self._reset_solver_state()
-        solver = self._ensure_solver()
-        cur_dep: Dict[Tuple[int, int], int] = {}
-        cur_rw: Dict[Tuple[int, int], int] = {}
-        for ck in self._unresolved:
-            key, t, s = ck
-            cvar = self._choice_var.get(ck)
-            if cvar is None:
-                cvar = solver.new_var()
-                self._choice_var[ck] = cvar
-            emitted = self._emitted_branch.setdefault(ck, set())
-            for tag, branch in (("e", self._branch_edges(key, t, s)),
-                                ("o", self._branch_edges(key, s, t))):
-                lit = -cvar if tag == "e" else cvar
-                for edge in branch:
-                    u, v, label, _k = edge
-                    table = cur_rw if label == RW else cur_dep
-                    table[(u, v)] = self._pair_var(edge, solver)
-                    if (tag, edge) not in emitted:
-                        emitted.add((tag, edge))
-                        solver.add_clause([lit, self._pair_var(edge, solver)])
-        self._collect_induced_terms(cur_dep, cur_rw)
-        self._flush_terms(solver)
-        sat = solver.solve()
+        with trace_span("solve", unresolved=len(self._unresolved)) as span:
+            if (self._solver is not None and self._solver.num_vars > 64
+                    and self._solver.num_vars > 3 * len(self._unresolved)):
+                # Mostly-stale instance: resolved constraints left behind
+                # unassigned variables that every solve must still decide.
+                self._reset_solver_state()
+            solver = self._ensure_solver()
+            cur_dep: Dict[Tuple[int, int], int] = {}
+            cur_rw: Dict[Tuple[int, int], int] = {}
+            for ck in self._unresolved:
+                key, t, s = ck
+                cvar = self._choice_var.get(ck)
+                if cvar is None:
+                    cvar = solver.new_var()
+                    self._choice_var[ck] = cvar
+                emitted = self._emitted_branch.setdefault(ck, set())
+                for tag, branch in (("e", self._branch_edges(key, t, s)),
+                                    ("o", self._branch_edges(key, s, t))):
+                    lit = -cvar if tag == "e" else cvar
+                    for edge in branch:
+                        u, v, label, _k = edge
+                        table = cur_rw if label == RW else cur_dep
+                        table[(u, v)] = self._pair_var(edge, solver)
+                        if (tag, edge) not in emitted:
+                            emitted.add((tag, edge))
+                            solver.add_clause(
+                                [lit, self._pair_var(edge, solver)])
+            self._collect_induced_terms(cur_dep, cur_rw)
+            self._flush_terms(solver)
+            sat = solver.solve()
+            span.set(sat=sat, vars=solver.num_vars)
         self._solves += 1
         self._timings["solve"] = (
             self._timings.get("solve", 0.0) + time.perf_counter() - t0
@@ -882,8 +895,25 @@ class OnlineChecker:
             "window": self._wstats.as_dict(),
             "closure_backend": self.closure_backend,
         }
+        out.stats["closure"] = self._ki.counters()
         if self._solver is not None:
             out.stats["solver"] = self._solver.stats.as_dict()
+
+    def _publish_metrics(self) -> None:
+        """Mirror the live stream state into the ambient metrics
+        registry (one ContextVar read when metrics are disabled)."""
+        registry = current_metrics()
+        if registry is None:
+            return
+        registry.gauge("online.accepted").set(self._accepted)
+        registry.gauge("online.live").set(self._live_count)
+        registry.gauge("online.unresolved").set(len(self._unresolved))
+        registry.gauge("online.known_edges").set(len(self._known_edges))
+        registry.gauge("online.solves").set(self._solves)
+        registry.gauge("window.evicted").set(self._wstats.evicted)
+        registry.gauge("window.gc_passes").set(self._wstats.gc_passes)
+        registry.gauge("window.compactions").set(self._wstats.compactions)
+        registry.gauge("window.peak_live").set(self._wstats.peak_live)
 
     # -- windowing ---------------------------------------------------------------
 
@@ -893,12 +923,22 @@ class OnlineChecker:
         if not self.window.should_collect(self._live_count, self._accepted):
             return
         t0 = time.perf_counter()
-        self._evict_closed()
-        if self.window.should_compact(self._live_count + 1, self._n):
-            self._compact()
+        with trace_span("gc", live=self._live_count) as span:
+            evicted_before = self._wstats.evicted
+            self._evict_closed()
+            span.set(evicted=self._wstats.evicted - evicted_before)
+            log.debug(
+                "gc pass %d: evicted %d (live=%d)", self._wstats.gc_passes,
+                self._wstats.evicted - evicted_before, self._live_count,
+            )
+            if self.window.should_compact(self._live_count + 1, self._n):
+                with trace_span("compact", vertices=self._n):
+                    self._compact()
+                log.debug("compacted to %d vertices", self._n)
         self._timings["gc"] = (
             self._timings.get("gc", 0.0) + time.perf_counter() - t0
         )
+        self._publish_metrics()
 
     def _evict_closed(self) -> None:
         """Evict transactions no future undesired cycle can pass through

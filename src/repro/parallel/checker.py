@@ -44,8 +44,11 @@ from ..core.checker import (
 from ..core.history import History, HistoryBuilder
 from ..core.polygraph import Edge
 from ..core.pruning import PruneResult
+from ..obs import Tracer, current_tracer, get_logger, trace_span, use_tracer
 from .partition import MIN_PARALLEL_CONSTRAINTS, prune_constraints_parallel
 from .planner import Shard, ShardPlanner, rebuild_component
+
+log = get_logger("parallel")
 
 __all__ = [
     "ShardResult",
@@ -71,7 +74,7 @@ class ShardResult:
 
     __slots__ = ("index", "satisfies_si", "decided_by", "anomalies",
                  "cycle", "timings", "prune", "solver", "stats", "segment",
-                 "polygraph")
+                 "polygraph", "spans", "worker")
 
     def __init__(self, index: int):
         self.index = index
@@ -84,6 +87,12 @@ class ShardResult:
         self.solver: dict = {}
         self.stats: dict = {}
         self.segment: Optional[int] = None
+        #: Spans exported by the worker-local tracer (plain dicts; only
+        #: populated on pooled dispatch with tracing on) and the worker
+        #: pid that produced them — the parent re-parents these under
+        #: its pool span via :meth:`repro.obs.Tracer.adopt`.
+        self.spans: list = []
+        self.worker: Optional[int] = None
         #: Only set for *violating* segment shards: interpretation needs
         #: the segment's polygraph to classify the witness cycle, and
         #: unlike component shards there is no parent-side polygraph in
@@ -127,26 +136,64 @@ class ShardResult:
 # -- worker bodies (module-level: must be picklable by reference) -------------------
 
 
+def _worker_trace_context(options: dict):
+    """Strip the dispatch-injected ``_trace`` flag and decide how this
+    shard records spans: a fresh worker-local :class:`Tracer` when the
+    flag is set (only pooled dispatch sets it — a fork-started pool
+    process inherits the parent's ambient-tracer contextvar, but spans
+    recorded there would die with the fork copy, so the flag, not the
+    ambient state, is authoritative), or None to record into the
+    caller's ambient tracer on in-process dispatch."""
+    options = dict(options)
+    want = options.pop("_trace", False)
+    tracer = Tracer() if want else None
+    return options, tracer
+
+
+def _traced_shard(index: int, options: dict, body) -> ShardResult:
+    """Run ``body(options)`` with worker-side span recording, exporting
+    the local tracer's spans (plus the worker pid) on the result."""
+    options, tracer = _worker_trace_context(options)
+    if tracer is None:
+        return body(options)
+    with use_tracer(tracer):
+        out = body(options)
+    out.spans = tracer.export_spans()
+    out.worker = os.getpid()
+    return out
+
+
 def _check_component_shard(index: int, payload, options: dict) -> ShardResult:
     """Prune + encode + solve one component fragment."""
-    graph = rebuild_component(payload)
-    checker = PolySIChecker(**options)
-    return ShardResult.from_check(index, checker.check_polygraph(graph))
+
+    def body(options: dict) -> ShardResult:
+        with trace_span("shard", index=index, pid=os.getpid()):
+            graph = rebuild_component(payload)
+            checker = PolySIChecker(**options)
+            return ShardResult.from_check(index,
+                                          checker.check_polygraph(graph))
+
+    return _traced_shard(index, options, body)
 
 
 def _check_segment_shard(index: int, payload, options: dict) -> ShardResult:
     """Check one segment of a segmented run as its own history."""
     segment_index, initial_values, txns = payload
-    builder = HistoryBuilder()
-    for session, ops, status in txns:
-        builder.txn(session, ops, status=status)
-    checker = PolySIChecker(initial_values=initial_values, **options)
-    result = checker.check(builder.build())
-    out = ShardResult.from_check(index, result)
-    out.segment = segment_index
-    if not result.satisfies_si:
-        out.polygraph = result.polygraph
-    return out
+
+    def body(options: dict) -> ShardResult:
+        with trace_span("segment", index=segment_index, pid=os.getpid()):
+            builder = HistoryBuilder()
+            for session, ops, status in txns:
+                builder.txn(session, ops, status=status)
+            checker = PolySIChecker(initial_values=initial_values, **options)
+            result = checker.check(builder.build())
+            out = ShardResult.from_check(index, result)
+            out.segment = segment_index
+            if not result.satisfies_si:
+                out.polygraph = result.polygraph
+            return out
+
+    return _traced_shard(index, options, body)
 
 
 # -- merging ------------------------------------------------------------------------
@@ -347,6 +394,10 @@ class ParallelChecker:
             strategy = ("components" if constrained_count >= 2
                         else "constraints")
         result.stats["strategy"] = strategy
+        log.debug(
+            "strategy=%s components=%d constrained=%d workers=%d",
+            strategy, len(components), constrained_count, self.pool_workers,
+        )
         result.stats["components"] = len(components)
         result.stats["solver_skipped_components"] = (
             len(components) - constrained_count
@@ -374,11 +425,16 @@ class ParallelChecker:
                     and len(graph.constraints) >= MIN_PARALLEL_CONSTRAINTS):
                 executor = self._pool()
             t0 = time.perf_counter()
-            prune_result = prune_constraints_parallel(
-                graph, executor, self.pool_workers,
-                closure=self._serial.closure,
-                backend=self._serial.closure_backend,
-            )
+            with trace_span("prune", constraints=len(graph.constraints),
+                            workers=self.pool_workers,
+                            pooled=executor is not None) as span:
+                prune_result = prune_constraints_parallel(
+                    graph, executor, self.pool_workers,
+                    closure=self._serial.closure,
+                    backend=self._serial.closure_backend,
+                )
+                span.set(iterations=prune_result.iterations,
+                         pruned=prune_result.pruned)
             result.timings["prune"] = time.perf_counter() - t0
             result.prune_result = prune_result
             if not prune_result.ok:
@@ -464,31 +520,49 @@ class ParallelChecker:
                     break
             return collected
 
+        tracer = current_tracer()
+        options = (dict(self._options, _trace=True) if tracer is not None
+                   else self._options)
         pool = self._pool()
-        pending = {
-            pool.submit(worker, shard.index, shard.payload, self._options)
-            for shard in sorted(shards, key=lambda s: s.index)
-        }
-        collected: List[ShardResult] = []
-        cancelled = False
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                shard_result = future.result()
-                collected.append(shard_result)
-                if not shard_result.satisfies_si and self.early_cancel:
-                    cancelled = True
-            if cancelled:
-                # Cancel what hasn't started; *drain* what has.  The pool
-                # dispatches in submission (= shard-index) order, so when
-                # shard j completes every shard with a smaller index has
-                # already started — draining in-flight shards guarantees
-                # the merge sees all of them, and its lowest-violating-
-                # index choice matches the serial scan.
-                for future in pending:
-                    if not future.cancel():
-                        collected.append(future.result())
-                break
+        with trace_span("pool", shards=len(shards),
+                        workers=self.pool_workers) as pool_span:
+            pending = {
+                pool.submit(worker, shard.index, shard.payload, options)
+                for shard in sorted(shards, key=lambda s: s.index)
+            }
+            collected: List[ShardResult] = []
+            cancelled = False
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard_result = future.result()
+                    collected.append(shard_result)
+                    if not shard_result.satisfies_si and self.early_cancel:
+                        cancelled = True
+                if cancelled:
+                    log.info(
+                        "violation in shard %d; cancelling %d queued shard(s)",
+                        min(s.index for s in collected
+                            if not s.satisfies_si),
+                        len(pending),
+                    )
+                    # Cancel what hasn't started; *drain* what has.  The pool
+                    # dispatches in submission (= shard-index) order, so when
+                    # shard j completes every shard with a smaller index has
+                    # already started — draining in-flight shards guarantees
+                    # the merge sees all of them, and its lowest-violating-
+                    # index choice matches the serial scan.
+                    for future in pending:
+                        if not future.cancel():
+                            collected.append(future.result())
+                    break
+        if tracer is not None:
+            # Re-parent every worker-recorded span subtree under the pool
+            # span, in shard-index order, stamping the worker pid on each.
+            for shard_result in sorted(collected, key=lambda s: s.index):
+                if shard_result.spans:
+                    tracer.adopt(shard_result.spans, parent=pool_span,
+                                 worker=shard_result.worker)
         return collected
 
 

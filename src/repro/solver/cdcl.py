@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from ..obs import current_metrics
+
 __all__ = ["CDCLSolver", "SolverStats"]
 
 
@@ -42,6 +44,15 @@ class SolverStats:
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def publish(self, registry) -> None:
+        """Mirror every counter into ``registry`` as a ``solver.*``
+        gauge — the live solver-progress surface.  No-op when
+        ``registry`` is None (metrics disabled)."""
+        if registry is None:
+            return
+        for name in self.__slots__:
+            registry.gauge(f"solver.{name}").set(getattr(self, name))
 
 
 def _luby(i: int) -> int:
@@ -370,6 +381,9 @@ class CDCLSolver:
         """
         if self._unsat:
             return False
+        # Resolved once per solve call: the hot search loop below only
+        # touches metrics at restart boundaries and on return.
+        registry = current_metrics()
         self._backtrack(0)
         if self.theory is not None:
             # Root-level theory assertions survive across calls (the
@@ -397,6 +411,7 @@ class CDCLSolver:
                     # Conflict among root-level facts: permanently UNSAT
                     # (latched, so repeated incremental solves stay False).
                     self._unsat = True
+                    self.stats.publish(registry)
                     return False
                 if max_level < self.decision_level:
                     self._backtrack(max_level)
@@ -405,6 +420,7 @@ class CDCLSolver:
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
                         self._unsat = True
+                        self.stats.publish(registry)
                         return False
                 else:
                     self.learned_clauses.append(learnt)
@@ -415,6 +431,7 @@ class CDCLSolver:
                 continue
             if conflicts_in_round >= conflicts_until_restart:
                 self.stats.restarts += 1
+                self.stats.publish(registry)
                 restart_count += 1
                 conflicts_in_round = 0
                 conflicts_until_restart = self.RESTART_BASE * _luby(
@@ -424,6 +441,7 @@ class CDCLSolver:
                 continue
             var = self._pick_branch_var()
             if var == 0:
+                self.stats.publish(registry)
                 return True  # complete assignment, theory-consistent
             self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))

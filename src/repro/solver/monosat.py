@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..obs import trace_span
 from .cdcl import CDCLSolver
 from .graph import AcyclicityTheory
 
@@ -111,7 +112,11 @@ class AcyclicGraphSolver:
 
     def solve(self) -> bool:
         """True iff the clauses admit a model whose edge graph is acyclic."""
-        self._solved = self._solver.solve()
+        with trace_span("monosat", vars=self.num_vars,
+                        clauses=self.num_clauses,
+                        edges=self.num_edges) as span:
+            self._solved = self._solver.solve()
+            span.set(sat=self._solved, **self._solver.stats.as_dict())
         return self._solved
 
     def model_value(self, var: int) -> bool:

@@ -149,6 +149,27 @@ class ClosureBackend:
         """
         raise NotImplementedError
 
+    # -- observability -------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Monotonic per-instance operation counters: inserts by outcome
+        (``inserts_new`` / ``inserts_known`` / ``inserts_cycle``),
+        ``compacts``, and ``queries`` (``has`` + ``reaches_any`` calls).
+
+        Deterministic across backends for identical operation scripts —
+        the cross-backend differential suite holds every backend to the
+        python reference, counters included.  Backends maintain the
+        ``_inew`` / ``_iknown`` / ``_icycle`` / ``_ncompact`` /
+        ``_nquery`` int slots this default implementation reads.
+        """
+        return {
+            "inserts_new": self._inew,
+            "inserts_known": self._iknown,
+            "inserts_cycle": self._icycle,
+            "compacts": self._ncompact,
+            "queries": self._nquery,
+        }
+
     # -- introspection -------------------------------------------------------
 
     @property
@@ -241,7 +262,8 @@ class PyBitsetClosure(ClosureBackend):
     run against either oracle.
     """
 
-    __slots__ = ("rows", "_co_rows", "edges")
+    __slots__ = ("rows", "_co_rows", "edges",
+                 "_inew", "_iknown", "_icycle", "_ncompact", "_nquery")
 
     name = "python"
 
@@ -251,6 +273,8 @@ class PyBitsetClosure(ClosureBackend):
         #: Direct (non-transitive) edges actually inserted, as pair masks;
         #: used to rebuild typed structure after compaction.
         self.edges: List[int] = [0] * n
+        self._inew = self._iknown = self._icycle = 0
+        self._ncompact = self._nquery = 0
 
     @classmethod
     def from_rows(cls, rows: Sequence[int]) -> "PyBitsetClosure":
@@ -295,9 +319,11 @@ class PyBitsetClosure(ClosureBackend):
     # -- queries -------------------------------------------------------------
 
     def has(self, u: int, v: int) -> bool:
+        self._nquery += 1
         return bool((self.rows[u] >> v) & 1)
 
     def reaches_any(self, u: int, targets: int) -> bool:
+        self._nquery += 1
         return bool(self.rows[u] & targets)
 
     def has_edge(self, u: int, v: int) -> bool:
@@ -318,6 +344,7 @@ class PyBitsetClosure(ClosureBackend):
         cyclic = u == v or bool((rows[v] >> u) & 1)
         targets = rows[v] | (1 << v)
         if not cyclic and not (targets & ~rows[u]):
+            self._iknown += 1
             return KNOWN
         if co is None:
             # Backward rows unmaterialized: scan for the ancestors of
@@ -325,7 +352,7 @@ class PyBitsetClosure(ClosureBackend):
             for x in range(len(rows)):
                 if (x == u or (rows[x] >> u) & 1) and targets & ~rows[x]:
                     rows[x] |= targets
-            return CYCLE if cyclic else NEW
+            return self._insert_outcome(cyclic)
         sources = co[u] | (1 << u)
         for x in _iter_bits(sources):
             if targets & ~rows[x]:
@@ -333,13 +360,21 @@ class PyBitsetClosure(ClosureBackend):
         for y in _iter_bits(targets):
             if sources & ~co[y]:
                 co[y] |= sources
-        return CYCLE if cyclic else NEW
+        return self._insert_outcome(cyclic)
+
+    def _insert_outcome(self, cyclic: bool) -> str:
+        if cyclic:
+            self._icycle += 1
+            return CYCLE
+        self._inew += 1
+        return NEW
 
     def compact(self, live: Sequence[int]) -> List[int]:
         """See :meth:`ClosureBackend.compact`."""
         # ``live`` is iterated more than once below: materialize it so a
         # one-shot iterator cannot silently empty the closure (a latent
         # edge case surfaced by the cross-backend fuzz suite).
+        self._ncompact += 1
         live = list(live)
         old_n = len(self.rows)
         old_to_new = [-1] * old_n

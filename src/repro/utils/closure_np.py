@@ -70,7 +70,8 @@ class NumpyBitsetClosure(ClosureBackend):
     """Strict reachability under incremental edge insertion, rows as
     packed ``uint64`` numpy matrices with bulk-OR propagation."""
 
-    __slots__ = ("_n", "_rows", "_edges", "_co")
+    __slots__ = ("_n", "_rows", "_edges", "_co",
+                 "_inew", "_iknown", "_icycle", "_ncompact", "_nquery")
 
     name = "numpy"
 
@@ -83,6 +84,8 @@ class NumpyBitsetClosure(ClosureBackend):
         # Eager backward rows, like the python constructor path.
         self._co: Optional[np.ndarray] = np.zeros((cap, words),
                                                   dtype=np.uint64)
+        self._inew = self._iknown = self._icycle = 0
+        self._ncompact = self._nquery = 0
 
     @staticmethod
     def _words_for(n: int) -> int:
@@ -171,6 +174,7 @@ class NumpyBitsetClosure(ClosureBackend):
 
     def has(self, u: int, v: int) -> bool:
         """See :meth:`~repro.utils.closure.ClosureBackend.has`."""
+        self._nquery += 1
         if u >= self._n:
             raise IndexError("vertex out of range")
         if v >= self._n:
@@ -181,6 +185,7 @@ class NumpyBitsetClosure(ClosureBackend):
 
     def reaches_any(self, u: int, targets: int) -> bool:
         """See :meth:`~repro.utils.closure.ClosureBackend.reaches_any`."""
+        self._nquery += 1
         if u >= self._n:
             raise IndexError("vertex out of range")
         return bool(_unpack_int(self._rows[u]) & targets)
@@ -230,6 +235,7 @@ class NumpyBitsetClosure(ClosureBackend):
         targets = rows[v].copy()
         targets[wv] |= _ONE << sv
         if not cyclic and not np.any(targets & ~rows[u]):
+            self._iknown += 1
             return KNOWN
         if self._co is None:
             # Backward rows unmaterialized: the ancestors of ``u`` are
@@ -238,7 +244,7 @@ class NumpyBitsetClosure(ClosureBackend):
             col = (rows[:n, wu] >> su) & _ONE
             col[u] = _ONE
             self._bulk_or(rows, np.flatnonzero(col), targets)
-            return CYCLE if cyclic else NEW
+            return self._insert_outcome(cyclic)
         co = self._co
         sources = co[u].copy()
         sources[wu] |= _ONE << su
@@ -246,7 +252,14 @@ class NumpyBitsetClosure(ClosureBackend):
         tgt_idx = self._index_of(targets)
         self._bulk_or(rows, src_idx, targets)
         self._bulk_or(co, tgt_idx, sources)
-        return CYCLE if cyclic else NEW
+        return self._insert_outcome(cyclic)
+
+    def _insert_outcome(self, cyclic: bool) -> str:
+        if cyclic:
+            self._icycle += 1
+            return CYCLE
+        self._inew += 1
+        return NEW
 
     def _index_of(self, packed: np.ndarray) -> np.ndarray:
         """Vertex indices of the set bits of a packed row."""
@@ -266,6 +279,7 @@ class NumpyBitsetClosure(ClosureBackend):
 
     def compact(self, live: Sequence[int]) -> List[int]:
         """See :meth:`~repro.utils.closure.ClosureBackend.compact`."""
+        self._ncompact += 1
         live = list(live)
         old_n = self._n
         old_to_new = [-1] * old_n

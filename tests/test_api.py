@@ -83,6 +83,19 @@ class TestEveryRegisteredCombo:
         assert "satisfies" in report.describe()
         json.loads(report.to_json())
 
+    def test_to_json_serializes_non_string_stat_keys_deterministically(self):
+        """Regression: stats may carry int-keyed dicts (per-shard maps
+        from the parallel engine); ``to_json`` must stringify and sort
+        them instead of raising or depending on insertion order."""
+        report = check(serializable_history())
+        report.stats["per_shard"] = {3: {"txns": 5}, 1: {"txns": 7}}
+        payload = json.loads(report.to_json())
+        assert list(payload["stats"]["per_shard"]) == ["1", "3"]
+        assert payload["stats"]["per_shard"]["1"] == {"txns": 7}
+        # deterministic regardless of insertion order
+        report.stats["per_shard"] = {1: {"txns": 7}, 3: {"txns": 5}}
+        assert json.loads(report.to_json()) == payload
+
 
 class TestVerdicts:
     def test_si_violation(self):

@@ -352,9 +352,10 @@ def assert_witness_valid(cycle):
 
 def comparable(report):
     """Everything that must match across backends: the verdict, the
-    deciding stage, evidence, and every stat except the backend name."""
+    deciding stage, evidence, and every stat except the backend name
+    and the trace payload (span wall/cpu times are never replayable)."""
     stats = {k: v for k, v in report.stats.items()
-             if k != "closure_backend"}
+             if k not in ("closure_backend", "trace")}
     return (report.ok, report.decided_by, report.cycle,
             [repr(a) for a in report.anomalies], stats)
 
