@@ -44,6 +44,7 @@ from .registry import (
     MODES,
     CheckerError,
     EngineSpec,
+    MissingTimestampsError,
     UnknownEngineError,
     UnsupportedComboError,
     UnsupportedOptionError,
@@ -66,6 +67,7 @@ __all__ = [
     "UnknownEngineError",
     "UnsupportedComboError",
     "UnsupportedOptionError",
+    "MissingTimestampsError",
     "ISOLATION_LEVELS",
     "MODES",
     "check",

@@ -28,10 +28,13 @@ def _expect(subject, kind: str, *, engine: str, mode: str):
     from ..listappend.model import ListHistory
 
     expected = {"history": History, "segmented_run": SegmentedRun,
-                "list_history": ListHistory}[kind]
+                "list_history": ListHistory,
+                "timestamped_history": History}[kind]
     if not isinstance(subject, expected):
         article = {"history": "a History", "segmented_run": "a SegmentedRun",
-                   "list_history": "a ListHistory"}[kind]
+                   "list_history": "a ListHistory",
+                   "timestamped_history": "a History with recorded "
+                   "timestamps"}[kind]
         raise CheckerError(
             f"engine {engine!r} in mode {mode!r} checks {article}; got "
             f"{type(subject).__name__} (segmented checking consumes the "
@@ -104,6 +107,17 @@ def _run_polysi(subject, isolation: str, mode: str, options: CheckOptions):
 def _strip_initial_values(pipeline: dict) -> dict:
     """The parallel/segmented drivers set initial values per shard."""
     return {k: v for k, v in pipeline.items() if k != "initial_values"}
+
+
+# -- timestamp ----------------------------------------------------------------------
+
+
+def _run_timestamp(subject, isolation: str, mode: str,
+                   options: CheckOptions):
+    from ..timestamp.engine import PIPELINE_OPTIONS, TimestampChecker
+
+    _expect(subject, "timestamped_history", engine="timestamp", mode=mode)
+    return TimestampChecker(**options.subset(PIPELINE_OPTIONS)).check(subject)
 
 
 # -- baselines ----------------------------------------------------------------------
@@ -196,6 +210,22 @@ def register_builtin_engines() -> None:
             ("ra", "batch"): frozenset(),
             ("listappend", "batch"): frozenset({"prune"}),
         },
+    ))
+
+    register_engine(EngineSpec(
+        name="timestamp",
+        summary=("near-linear SI validation from recorded start/commit "
+                 "timestamps; timestamp-ambiguous residue clusters fall "
+                 "back to the polysi pipeline"),
+        combos=frozenset({("si", "batch")}),
+        # The fallback pipeline's switches; check_axioms_first and
+        # initial_values are deliberately not accepted (the fast path
+        # always runs the axiom pass and always reads plain initial
+        # values), so setting them is a typed error, not a silent no-op.
+        options=frozenset({"prune", "compact", "closure",
+                           "closure_backend"}),
+        runner=_run_timestamp,
+        inputs={("si", "batch"): "timestamped_history"},
     ))
 
     register_engine(EngineSpec(

@@ -24,6 +24,7 @@ __all__ = [
     "UnknownEngineError",
     "UnsupportedComboError",
     "UnsupportedOptionError",
+    "MissingTimestampsError",
     "register_engine",
     "get_engine",
     "engine_names",
@@ -42,7 +43,11 @@ ISOLATION_LEVELS: Tuple[str, ...] = ("si", "ser", "causal", "ra",
 MODES: Tuple[str, ...] = ("batch", "online", "parallel", "segmented")
 
 #: Input kinds a combo may declare (see :meth:`EngineSpec.input_kind`).
-INPUT_KINDS: Tuple[str, ...] = ("history", "segmented_run", "list_history")
+#: ``"timestamped_history"`` is a ``History`` whose committed
+#: transactions carry recorded start/commit timestamps — the ``timestamp``
+#: engine's fast path has nothing to validate without them.
+INPUT_KINDS: Tuple[str, ...] = ("history", "segmented_run", "list_history",
+                                "timestamped_history")
 
 
 class CheckerError(ValueError):
@@ -64,6 +69,17 @@ class UnsupportedComboError(CheckerError):
 
 class UnsupportedOptionError(CheckerError):
     """An option was set that the selected engine or mode never reads."""
+
+
+class MissingTimestampsError(CheckerError):
+    """The ``timestamp`` engine was given a history without timestamps.
+
+    Histories collected (or serialized) before timestamp capture existed
+    load fine and check fine under every other engine; only the
+    timestamp fast path has nothing to validate.  The message names the
+    remedies: re-collect with a current adapter, or pick a
+    timestamp-free engine.
+    """
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from ..extensions.causal import WeakCheckResult
 from ..extensions.segmented import SegmentedCheckResult
 from ..interpret import Counterexample, InterpretationError, interpret_violation
 from ..online.checker import OnlineResult
+from ..timestamp.engine import TimestampResult
 
 __all__ = ["Report", "adapt_result", "ISOLATION_TITLES"]
 
@@ -142,6 +143,12 @@ class Report:
         native = self.native
         if isinstance(native, CheckResult):
             return interpret_violation(native)
+        if (isinstance(native, TimestampResult)
+                and native.fallback_result is not None
+                and not native.fallback_result.satisfies_si):
+            # The fallback is a full PolySI run on the residue
+            # subhistory; its evidence interprets like any batch result.
+            return interpret_violation(native.fallback_result)
         if isinstance(native, SegmentedCheckResult):
             for segment_result in native.segment_results:
                 if not segment_result.satisfies_si:
@@ -207,6 +214,8 @@ def adapt_result(native, *, isolation: str, mode: str, engine: str) -> Report:
         _adapt_online(native, report)
     elif isinstance(native, SegmentedCheckResult):
         _adapt_segmented(native, report)
+    elif isinstance(native, TimestampResult):
+        _adapt_timestamp(native, report)
     elif isinstance(native, CobraSIResult):
         _adapt_cobrasi(native, report)
     elif isinstance(native, SerCheckResult):
@@ -275,6 +284,16 @@ def _adapt_segmented(native: SegmentedCheckResult, report: Report) -> None:
             if segment_result.polygraph is not None:
                 report.names = segment_result.polygraph.vertex_name
             break
+
+
+def _adapt_timestamp(native: TimestampResult, report: Report) -> None:
+    report.ok = native.satisfies_si
+    report.decided_by = native.decided_by
+    report.anomalies = list(native.anomalies)
+    report.cycle = native.cycle
+    report.timings = dict(native.timings)
+    report.stats = dict(native.stats)
+    report.names = native.names
 
 
 def _adapt_cobrasi(native: CobraSIResult, report: Report) -> None:

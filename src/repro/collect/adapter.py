@@ -26,6 +26,14 @@ Contract (see DESIGN.md S8 for the soundness discussion):
 - After ``commit`` returns ``False`` or any verb raises
   :class:`TransactionAborted`, the session must be reusable for the next
   ``begin`` (the adapter rolls back internally).
+- :meth:`AdapterSession.timestamps` optionally reports the last
+  committed transaction's observed ``(start_ts, commit_ts)`` pair for
+  the ``timestamp`` engine's fast path (see :mod:`repro.timestamp`).
+  The default returns ``None`` — existing adapters keep working, and the
+  collector then falls back to bracketing each attempt with its own
+  monotonic clock.  Timestamps are *observations*, not trusted input:
+  imprecise or skewed values can only grow the engine's fallback
+  residue, never corrupt a verdict (DESIGN.md S12).
 """
 
 from __future__ import annotations
@@ -91,6 +99,17 @@ class AdapterSession:
     def abort(self) -> None:
         """Roll back the current transaction (idempotent)."""
         raise NotImplementedError
+
+    def timestamps(self):
+        """The last committed transaction's ``(start_ts, commit_ts)``.
+
+        ``start_ts`` should approximate the moment the transaction's
+        read snapshot was taken and ``commit_ts`` the moment the commit
+        became durable, on one monotonic clock.  Adapters that cannot
+        observe either return ``None`` (the default) and the collector
+        substitutes its own per-attempt bracket.
+        """
+        return None
 
     def close(self) -> None:
         """Release the session's connection."""

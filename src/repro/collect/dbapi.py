@@ -22,7 +22,8 @@ Dialect portability choices:
 from __future__ import annotations
 
 import importlib
-from typing import Hashable, Optional
+import time
+from typing import Hashable, Optional, Tuple
 
 from ..core.history import INITIAL_VALUE
 from .adapter import Adapter, AdapterSession, AdapterUnavailable, TransactionAborted
@@ -65,10 +66,20 @@ class DBAPISession(AdapterSession):
         self._table = table
         self._ph, self._ph2 = placeholders
         self._begin_sql = begin_sql
+        self._start_ts: Optional[float] = None
+        self._last_ts: Optional[Tuple[float, float]] = None
+
+    def _mark_start(self) -> None:
+        """Client-side ``start_ts`` at the first statement — the closest
+        observable moment to when the backend takes its snapshot."""
+        if self._start_ts is None:
+            self._start_ts = time.perf_counter()
 
     def begin(self) -> None:
         """Start a transaction (DB-API transactions are implicit; this
         runs the optional ``begin_sql``, e.g. an isolation pin)."""
+        self._start_ts = None
+        self._last_ts = None
         if self._begin_sql:
             cur = self._conn.cursor()
             try:
@@ -80,6 +91,7 @@ class DBAPISession(AdapterSession):
 
     def read(self, key: Hashable):
         """Serve ``key`` through the driver; ``INITIAL_VALUE`` if absent."""
+        self._mark_start()
         cur = self._conn.cursor()
         try:
             cur.execute(
@@ -95,6 +107,7 @@ class DBAPISession(AdapterSession):
 
     def write(self, key: Hashable, value) -> None:
         """Portable upsert: delete-then-insert within the transaction."""
+        self._mark_start()
         cur = self._conn.cursor()
         try:
             cur.execute(
@@ -118,7 +131,13 @@ class DBAPISession(AdapterSession):
         except self._error_cls:
             self.abort()
             return False
+        if self._start_ts is not None:
+            self._last_ts = (self._start_ts, time.perf_counter())
         return True
+
+    def timestamps(self) -> Optional[Tuple[float, float]]:
+        """The last committed transaction's observed interval."""
+        return self._last_ts
 
     def abort(self) -> None:
         """Driver-level rollback (errors swallowed; session stays usable)."""

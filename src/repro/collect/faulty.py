@@ -212,6 +212,16 @@ class _FaultySession(AdapterSession):
         self._read_cache = {}
         self._inner.abort()
 
+    def timestamps(self):
+        """The backend's observed interval, unchanged.
+
+        Fault injection rewrites *reads*, not clocks: the injected
+        anomalies then show up to the ``timestamp`` engine as prefix-read
+        mismatches against honestly-recorded intervals — exactly the
+        residue-routing path the adversarial suite exercises.
+        """
+        return self._inner.timestamps()
+
     def close(self) -> None:
         """Close the wrapped backend session."""
         self._inner.close()

@@ -60,10 +60,12 @@ class CollectOptions:
 class CollectionRun:
     """Everything one collection produced: the history plus accounting.
 
-    ``events`` lists ``(session, ops, status)`` triples in completion
-    order — the shape :meth:`repro.online.OnlineChecker.add` consumes,
-    so a collected run can be replayed through the online checker
-    exactly as it unfolded.
+    ``events`` lists ``(session, ops, status, timestamps)`` tuples in
+    completion order — the first three elements are the shape
+    :meth:`repro.online.OnlineChecker.add` consumes, so a collected run
+    can be replayed through the online checker exactly as it unfolded;
+    the fourth is the transaction's observed ``(start_ts, commit_ts)``
+    interval (``None`` for aborted transactions).
     """
 
     __slots__ = (
@@ -137,11 +139,20 @@ class _SessionWorker(threading.Thread):
             self._barrier.abort()
 
     def _run_txn(self, session, txn_spec: Sequence[tuple]) -> None:
-        """Execute one transaction with the retry/abort protocol."""
+        """Execute one transaction with the retry/abort protocol.
+
+        Each committed attempt records its observed ``(start_ts,
+        commit_ts)`` interval: the adapter's own observation when it
+        provides one (:meth:`AdapterSession.timestamps`), else the
+        collector's bracket around the attempt on the shared monotonic
+        clock.  Only the committed attempt's interval survives —
+        dropped retries lose their timestamps along with their reads.
+        """
         options = self._collector._options
         for attempt in range(options.retries + 1):
             self._collector._count_attempt()
             observed = []
+            bracket_start = time.perf_counter()
             try:
                 session.begin()
                 for op in txn_spec:
@@ -155,7 +166,14 @@ class _SessionWorker(threading.Thread):
                 session.abort()
                 ok = False
             if ok:
-                self._collector._record(self._session_id, observed, COMMITTED)
+                # getattr, not a plain call: duck-typed sessions predating
+                # the timestamps() hook keep working and get the bracket.
+                report_ts = getattr(session, "timestamps", None)
+                ts = report_ts() if report_ts is not None else None
+                if ts is None:
+                    ts = (bracket_start, time.perf_counter())
+                self._collector._record(self._session_id, observed,
+                                        COMMITTED, ts)
                 return
             if attempt < options.retries:
                 # Dropped attempt: its writes rolled back, its reads are
@@ -188,10 +206,13 @@ class Collector:
 
     # -- recording hooks (called from session threads) ---------------------
 
-    def _record(self, session: int, ops: list, status: str) -> None:
+    def _record(self, session: int, ops: list, status: str,
+                ts: Optional[tuple] = None) -> None:
         with self._lock:
-            self._builder.txn(session, ops, status=status)
-            self._events.append((session, tuple(ops), status))
+            start_ts, commit_ts = ts if ts is not None else (None, None)
+            self._builder.txn(session, ops, status=status,
+                              start_ts=start_ts, commit_ts=commit_ts)
+            self._events.append((session, tuple(ops), status, ts))
             if status == COMMITTED:
                 self._committed += 1
             else:

@@ -8,6 +8,18 @@ makes it the reference backend for CI: real connections, real
 concurrency (one connection per session thread), real aborts
 (``SQLITE_BUSY`` when a writer's snapshot went stale), zero external
 dependencies.
+
+Timestamp capture is *logical*, issued by the database itself: a
+one-row ``<table>_clock`` relation holds a tick that every writing
+transaction increments inside its own transaction.  Reading the tick
+through the transaction's snapshot yields ``start_ts`` = exactly the
+number of writer commits the snapshot contains, and the incremented
+value yields a ``commit_ts`` that is unique and ordered like the commit
+order — so on a correctly-serializable store the ``timestamp`` engine's
+fast-path conditions hold exactly and the residue is empty, with none
+of the scheduling noise a client-side wall clock would add.  (A
+client-side clock would still be *sound* — skewed stamps only grow the
+residue — this choice is about keeping the fast path fast.)
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import tempfile
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Tuple
 
 from ..core.history import INITIAL_VALUE
 from .adapter import Adapter, AdapterSession, TransactionAborted
@@ -29,12 +41,38 @@ class SQLiteSession(AdapterSession):
     def __init__(self, conn: sqlite3.Connection, table: str):
         self._conn = conn
         self._table = table
+        self._clock = f"{table}_clock"
         self._in_txn = False
+        self._wrote = False
+        self._start_ts: Optional[float] = None
+        self._last_ts: Optional[Tuple[float, float]] = None
 
     def begin(self) -> None:
         """Open a deferred transaction (snapshot taken at first read)."""
         self._conn.execute("BEGIN DEFERRED")
         self._in_txn = True
+        self._wrote = False
+        self._start_ts = None
+        self._last_ts = None
+
+    def _read_tick(self) -> float:
+        """The clock tick as seen by this transaction's snapshot."""
+        try:
+            row = self._conn.execute(
+                f"SELECT tick FROM {self._clock} WHERE id = 0"
+            ).fetchone()
+        except sqlite3.OperationalError as exc:
+            raise TransactionAborted(str(exc))
+        return 0.0 if row is None else float(row[0])
+
+    def _mark_start(self) -> None:
+        """Record ``start_ts`` = the clock tick in this transaction's
+        snapshot.  Called *after* the transaction's first statement, so
+        the snapshot already exists and the tick read is served from it:
+        the value is exactly the number of writer commits the snapshot
+        contains, with no wall-clock scheduling noise."""
+        if self._start_ts is None:
+            self._start_ts = self._read_tick()
 
     def read(self, key: Hashable):
         """Serve ``key`` from this transaction's snapshot."""
@@ -44,6 +82,7 @@ class SQLiteSession(AdapterSession):
             ).fetchone()
         except sqlite3.OperationalError as exc:
             raise TransactionAborted(str(exc))
+        self._mark_start()
         return INITIAL_VALUE if row is None else row[0]
 
     def write(self, key: Hashable, value) -> None:
@@ -58,16 +97,44 @@ class SQLiteSession(AdapterSession):
             )
         except sqlite3.OperationalError as exc:
             raise TransactionAborted(str(exc))
+        self._wrote = True
+        self._mark_start()
 
     def commit(self) -> bool:
-        """Commit; ``False`` when SQLite rejects the transaction."""
+        """Commit; ``False`` when SQLite rejects the transaction.
+
+        A writing transaction first increments the shared clock row —
+        still under its own write lock, so this cannot introduce new
+        conflicts — and takes the incremented value as its ``commit_ts``.
+        A read-only transaction commits logically *at its snapshot*:
+        ``commit_ts = start_ts + 0.5`` keeps the interval well-formed
+        while sorting it before every later writer commit.
+        """
+        commit_ts: Optional[float] = None
+        if self._wrote:
+            try:
+                self._conn.execute(
+                    f"UPDATE {self._clock} SET tick = tick + 1 WHERE id = 0"
+                )
+                commit_ts = self._read_tick()
+            except (sqlite3.OperationalError, TransactionAborted):
+                self.abort()
+                return False
         try:
             self._conn.execute("COMMIT")
         except sqlite3.OperationalError:
             self.abort()
             return False
+        if self._start_ts is not None:
+            if commit_ts is None:
+                commit_ts = self._start_ts + 0.5
+            self._last_ts = (self._start_ts, commit_ts)
         self._in_txn = False
         return True
+
+    def timestamps(self) -> Optional[Tuple[float, float]]:
+        """The last committed transaction's observed interval."""
+        return self._last_ts
 
     def abort(self) -> None:
         """Roll back whatever is in flight (safe to call repeatedly)."""
@@ -122,12 +189,20 @@ class SQLiteAdapter(Adapter):
         return conn
 
     def setup(self) -> None:
-        """Create the key-value table and switch the file to WAL mode."""
+        """Create the key-value and clock tables, switch to WAL mode."""
         conn = self._connect()
         try:
             conn.execute(
                 f"CREATE TABLE IF NOT EXISTS {self._table} "
                 "(key TEXT PRIMARY KEY, value)"
+            )
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {self._table}_clock "
+                "(id INTEGER PRIMARY KEY CHECK (id = 0), tick INTEGER)"
+            )
+            conn.execute(
+                f"INSERT OR IGNORE INTO {self._table}_clock (id, tick) "
+                "VALUES (0, 0)"
             )
             conn.commit()
         finally:
@@ -138,10 +213,11 @@ class SQLiteAdapter(Adapter):
         return SQLiteSession(self._connect(), self._table)
 
     def teardown(self) -> None:
-        """Empty the key-value table so the adapter can be reused."""
+        """Empty the key-value table and rewind the clock for reuse."""
         conn = self._connect()
         try:
             conn.execute(f"DELETE FROM {self._table}")
+            conn.execute(f"UPDATE {self._table}_clock SET tick = 0")
             conn.commit()
         finally:
             conn.close()

@@ -131,6 +131,8 @@ class Transaction:
         "index",
         "ops",
         "status",
+        "start_ts",
+        "commit_ts",
         "_writes",
         "_external_reads",
     )
@@ -143,6 +145,8 @@ class Transaction:
         session: int = 0,
         index: int = 0,
         status: str = COMMITTED,
+        start_ts: Optional[float] = None,
+        commit_ts: Optional[float] = None,
     ):
         if status not in (COMMITTED, ABORTED):
             raise HistoryError(f"unknown transaction status: {status!r}")
@@ -153,6 +157,8 @@ class Transaction:
         self.index = index
         self.ops = tuple(ops)
         self.status = status
+        self.start_ts = start_ts
+        self.commit_ts = commit_ts
         self._writes: Optional[dict] = None
         self._external_reads: Optional[dict] = None
 
@@ -161,6 +167,18 @@ class Transaction:
     @property
     def committed(self) -> bool:
         return self.status == COMMITTED
+
+    @property
+    def timestamped(self) -> bool:
+        """Whether the transaction carries a recorded start/commit pair.
+
+        Timestamps are *optional observations* (captured by the
+        collection harness or synthesized by :mod:`repro.timestamp`);
+        the core checkers never read them, so an untimestamped
+        transaction is a first-class citizen everywhere except the
+        ``timestamp`` engine's fast path.
+        """
+        return self.start_ts is not None and self.commit_ts is not None
 
     @property
     def writes(self) -> dict:
@@ -244,23 +262,29 @@ class History:
         session_ops: Sequence[Sequence[Sequence[Operation]]],
         *,
         aborted: Iterable[tuple] = (),
+        timestamps: Optional[dict] = None,
     ) -> "History":
         """Build a history from nested op lists.
 
         ``session_ops[s][i]`` is the op list of the ``i``-th transaction of
         session ``s``.  ``aborted`` is a set of ``(session, index)`` pairs
-        marking aborted transactions.  Transaction ids are assigned in
-        session-major order.
+        marking aborted transactions.  ``timestamps`` optionally maps
+        ``(session, index)`` to a ``(start_ts, commit_ts)`` pair; absent
+        entries leave the transaction untimestamped.  Transaction ids are
+        assigned in session-major order.
         """
         aborted = set(aborted)
+        timestamps = timestamps or {}
         sessions = []
         tid = 0
         for s, ops_list in enumerate(session_ops):
             sess = []
             for i, ops in enumerate(ops_list):
                 status = ABORTED if (s, i) in aborted else COMMITTED
+                start_ts, commit_ts = timestamps.get((s, i), (None, None))
                 sess.append(
-                    Transaction(tid, ops, session=s, index=i, status=status)
+                    Transaction(tid, ops, session=s, index=i, status=status,
+                                start_ts=start_ts, commit_ts=commit_ts)
                 )
                 tid += 1
             sessions.append(sess)
@@ -294,6 +318,21 @@ class History:
             for op in t.ops:
                 out.add(op.key)
         return out
+
+    @property
+    def timestamped_fraction(self) -> float:
+        """Fraction of *committed* transactions carrying timestamps.
+
+        ``1.0`` means the ``timestamp`` engine can attempt its fast path
+        on every committed transaction; ``0.0`` (or an empty committed
+        set) means the history predates timestamp capture and must be
+        checked by the timestamp-free engines.
+        """
+        committed = self.committed
+        if not committed:
+            return 0.0
+        stamped = sum(1 for t in committed if t.timestamped)
+        return stamped / len(committed)
 
     def session_order_pairs(self) -> Iterator[tuple]:
         """Yield the *covering* SO pairs (consecutive committed transactions
@@ -355,6 +394,7 @@ class HistoryBuilder:
     def __init__(self) -> None:
         self._sessions: dict = {}
         self._aborted: set = set()
+        self._timestamps: dict = {}
 
     def txn(
         self,
@@ -362,6 +402,8 @@ class HistoryBuilder:
         ops: Sequence[Operation],
         *,
         status: str = COMMITTED,
+        start_ts: Optional[float] = None,
+        commit_ts: Optional[float] = None,
     ) -> tuple:
         """Append a transaction to ``session``; returns ``(session, index)``."""
         sess = self._sessions.setdefault(session, [])
@@ -371,6 +413,8 @@ class HistoryBuilder:
             self._aborted.add((session, idx))
         elif status != COMMITTED:
             raise HistoryError(f"unknown transaction status: {status!r}")
+        if start_ts is not None or commit_ts is not None:
+            self._timestamps[(session, idx)] = (start_ts, commit_ts)
         return (session, idx)
 
     def build(self) -> History:
@@ -382,4 +426,7 @@ class HistoryBuilder:
         # session numbering used by from_ops.
         session_renumber = {s: i for i, s in enumerate(sorted(self._sessions))}
         aborted = {(session_renumber[s], i) for (s, i) in self._aborted}
-        return History.from_ops(ordered, aborted=aborted)
+        timestamps = {(session_renumber[s], i): ts
+                      for (s, i), ts in self._timestamps.items()}
+        return History.from_ops(ordered, aborted=aborted,
+                                timestamps=timestamps)

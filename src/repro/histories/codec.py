@@ -9,6 +9,14 @@ Two formats:
   ``w(key,value)`` / ``r(key,value)`` and the value ``_`` denotes the
   initial value.
 
+Transactions that carry recorded timestamps (see
+:attr:`~repro.core.history.Transaction.start_ts`) serialize them as an
+optional ``"ts": [start, commit]`` field (JSON) or an optional third head
+token ``start:commit`` before the ``|`` (text).  Both codecs accept
+pre-timestamp files unchanged — the fields are strictly additive, so a
+history written before timestamp capture existed round-trips to an
+untimestamped history.
+
 Values survive the JSON round trip when they are JSON-representable
 (``None``/ints/strings); the text codec restricts values to ints, the
 initial-value marker, and strings without parentheses or commas — the
@@ -46,14 +54,15 @@ def history_to_json(history: History) -> str:
     for session in history.sessions:
         txns = []
         for txn in session:
-            txns.append(
-                {
-                    "status": txn.status,
-                    "ops": [
-                        [op.kind, op.key, op.value] for op in txn.ops
-                    ],
-                }
-            )
+            record = {
+                "status": txn.status,
+                "ops": [
+                    [op.kind, op.key, op.value] for op in txn.ops
+                ],
+            }
+            if txn.start_ts is not None or txn.commit_ts is not None:
+                record["ts"] = [txn.start_ts, txn.commit_ts]
+            txns.append(record)
         sessions.append(txns)
     return json.dumps({"sessions": sessions})
 
@@ -63,6 +72,7 @@ def history_from_json(text: str) -> History:
     data = json.loads(text)
     session_ops: List[List[List[Operation]]] = []
     aborted = set()
+    timestamps: dict = {}
     for s, txns in enumerate(data["sessions"]):
         ops_list = []
         for i, txn in enumerate(txns):
@@ -70,8 +80,12 @@ def history_from_json(text: str) -> History:
             ops_list.append(ops)
             if txn.get("status", COMMITTED) == ABORTED:
                 aborted.add((s, i))
+            ts = txn.get("ts")
+            if ts is not None:
+                timestamps[(s, i)] = (ts[0], ts[1])
         session_ops.append(ops_list)
-    return History.from_ops(session_ops, aborted=aborted)
+    return History.from_ops(session_ops, aborted=aborted,
+                            timestamps=timestamps)
 
 
 def _format_value(value) -> str:
@@ -98,7 +112,14 @@ def history_to_text(history: History) -> str:
             ops = " ".join(
                 f"{op.kind}({op.key},{_format_value(op.value)})" for op in txn.ops
             )
-            lines.append(f"{s} {flag} | {ops}")
+            if txn.timestamped:
+                # One-sided timestamps (start without commit or vice
+                # versa) only arise mid-collection and are dropped by the
+                # compact format; use JSON to preserve them.
+                lines.append(f"{s} {flag} {txn.start_ts!r}:{txn.commit_ts!r} "
+                             f"| {ops}")
+            else:
+                lines.append(f"{s} {flag} | {ops}")
     return "\n".join(lines) + "\n"
 
 
@@ -106,14 +127,24 @@ def history_from_text(text: str) -> History:
     """Parse the compact line format."""
     sessions: dict = {}
     aborted = set()
+    timestamps: dict = {}
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
         head, _, body = line.partition("|")
         parts = head.split()
-        if len(parts) != 2 or parts[1] not in ("c", "a"):
+        if len(parts) not in (2, 3) or parts[1] not in ("c", "a"):
             raise ValueError(f"malformed history line: {raw!r}")
+        ts = None
+        if len(parts) == 3:
+            start_text, sep, commit_text = parts[2].partition(":")
+            if not sep:
+                raise ValueError(f"malformed timestamp token: {parts[2]!r}")
+            try:
+                ts = (float(start_text), float(commit_text))
+            except ValueError:
+                raise ValueError(f"malformed timestamp token: {parts[2]!r}")
         session = int(parts[0])
         ops: List[Operation] = []
         for token in body.split():
@@ -128,11 +159,15 @@ def history_from_text(text: str) -> History:
         txns = sessions.setdefault(session, [])
         if parts[1] == "a":
             aborted.add((session, len(txns)))
+        if ts is not None:
+            timestamps[(session, len(txns))] = ts
         txns.append(ops)
     ordered_sessions = [sessions[s] for s in sorted(sessions)]
     renumber = {s: i for i, s in enumerate(sorted(sessions))}
     aborted = {(renumber[s], i) for (s, i) in aborted}
-    return History.from_ops(ordered_sessions, aborted=aborted)
+    timestamps = {(renumber[s], i): ts for (s, i), ts in timestamps.items()}
+    return History.from_ops(ordered_sessions, aborted=aborted,
+                            timestamps=timestamps)
 
 
 def dump_history(history: History, path: str, *, fmt: str = "json") -> None:

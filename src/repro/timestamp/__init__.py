@@ -1,0 +1,42 @@
+"""Timestamp-accelerated SI checking (the ROADMAP fast path).
+
+Real databases expose per-transaction start/commit timestamps, and the
+collection harness records them (see :mod:`repro.collect`).  When the
+recorded numbers are internally consistent they *are* an SI witness —
+version order is the commit-timestamp order, reads are prefix reads of
+that order, and writer intervals are disjoint — so checking collapses
+from polygraph construction + solving to a near-linear validation pass
+("Online Timestamp-based Transactional Isolation Checking",
+arXiv:2504.01477; Vbox, arXiv:2503.05163).
+
+:class:`TimestampChecker` implements that fast path and routes every
+transaction the numbers cannot certify (missing/degenerate/overlapping
+timestamps, prefix-read mismatches) to the PolySI pipeline as a
+*residue*, so the verdict never depends on clocks being truthful — see
+DESIGN.md S12 for the soundness argument.  :mod:`~repro.timestamp.stamping`
+holds the timestamp-rewriting helpers the adversarial test harness (and
+any synthetic stamping) builds on.
+"""
+
+from .engine import TimestampChecker, TimestampResult
+from .stamping import (
+    collapse_timestamps,
+    map_timestamps,
+    perturb_timestamps,
+    scale_timestamps,
+    shift_timestamps,
+    stamp_serial,
+    strip_timestamps,
+)
+
+__all__ = [
+    "TimestampChecker",
+    "TimestampResult",
+    "map_timestamps",
+    "stamp_serial",
+    "shift_timestamps",
+    "scale_timestamps",
+    "collapse_timestamps",
+    "perturb_timestamps",
+    "strip_timestamps",
+]

@@ -1,0 +1,141 @@
+"""Timestamp-rewriting helpers.
+
+Everything here rebuilds a :class:`~repro.core.history.History` with the
+same sessions, operations, and statuses but different ``start_ts`` /
+``commit_ts`` fields.  The helpers serve two audiences: synthetic
+stamping of generated histories (``stamp_serial``), and the adversarial
+test harness, which shifts, scales, collapses, and randomly perturbs
+timestamps to prove the ``timestamp`` engine's verdict never depends on
+the numbers being truthful (tests/test_timestamp_metamorphic.py,
+tests/test_timestamp_differential.py).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..core.history import History, Transaction
+
+__all__ = [
+    "map_timestamps",
+    "stamp_serial",
+    "shift_timestamps",
+    "scale_timestamps",
+    "collapse_timestamps",
+    "perturb_timestamps",
+    "strip_timestamps",
+]
+
+
+def map_timestamps(
+    history: History,
+    assign: Callable[[Transaction], Optional[Tuple[float, float]]],
+) -> History:
+    """Rebuild ``history`` with ``assign(txn)`` as each timestamp pair.
+
+    ``assign`` returns ``(start_ts, commit_ts)`` or ``None`` to leave the
+    transaction untimestamped.  Sessions, transaction ids, operations,
+    and statuses are preserved exactly.
+    """
+    sessions = []
+    for session in history.sessions:
+        rebuilt = []
+        for txn in session:
+            ts = assign(txn)
+            start_ts, commit_ts = ts if ts is not None else (None, None)
+            rebuilt.append(
+                Transaction(
+                    txn.tid,
+                    txn.ops,
+                    session=txn.session,
+                    index=txn.index,
+                    status=txn.status,
+                    start_ts=start_ts,
+                    commit_ts=commit_ts,
+                )
+            )
+        sessions.append(rebuilt)
+    return History(sessions)
+
+
+def stamp_serial(history: History, *, start: float = 0.0,
+                 step: float = 4.0) -> History:
+    """Stamp committed transactions with disjoint intervals in tid order.
+
+    Transaction ``tid`` gets ``start_ts = start + tid*step`` and
+    ``commit_ts = start_ts + step/2`` — a serial execution in tid order
+    (which extends every session order, since tids are session-major).
+    On histories whose reads are consistent with that serial order the
+    fast path certifies everything; on any other history the recorded
+    numbers disagree with the observations and the disagreeing clusters
+    become residue.  Aborted transactions stay untimestamped (they never
+    installed anything, so no timestamp condition mentions them).
+    """
+    def assign(txn: Transaction):
+        if not txn.committed:
+            return None
+        s = start + txn.tid * step
+        return (s, s + step / 2.0)
+
+    return map_timestamps(history, assign)
+
+
+def shift_timestamps(history: History, delta: float) -> History:
+    """Add ``delta`` to every recorded timestamp (untimestamped stay so)."""
+    def assign(txn: Transaction):
+        if not txn.timestamped:
+            return None
+        return (txn.start_ts + delta, txn.commit_ts + delta)
+
+    return map_timestamps(history, assign)
+
+
+def scale_timestamps(history: History, factor: float) -> History:
+    """Multiply every recorded timestamp by ``factor`` (must be > 0;
+    a non-positive factor would reverse or collapse the order the
+    validator reads off the numbers)."""
+    if factor <= 0:
+        raise ValueError("scale factor must be positive")
+
+    def assign(txn: Transaction):
+        if not txn.timestamped:
+            return None
+        return (txn.start_ts * factor, txn.commit_ts * factor)
+
+    return map_timestamps(history, assign)
+
+
+def collapse_timestamps(history: History, value: float = 0.0) -> History:
+    """Stamp every committed transaction with the degenerate pair
+    ``(value, value)`` — the worst possible clock, which the validator
+    must route entirely to the fallback."""
+    def assign(txn: Transaction):
+        if not txn.committed:
+            return None
+        return (value, value)
+
+    return map_timestamps(history, assign)
+
+
+def perturb_timestamps(history: History, rng, magnitude: float) -> History:
+    """Add independent uniform noise from ``[-magnitude, magnitude]`` to
+    every recorded timestamp (clock skew / drift simulation).
+
+    ``rng`` is a :class:`random.Random`.  The result may contain
+    overlapping or inverted intervals — exactly what the ambiguity
+    detector exists to catch.
+    """
+    def assign(txn: Transaction):
+        if not txn.timestamped:
+            return None
+        return (
+            txn.start_ts + rng.uniform(-magnitude, magnitude),
+            txn.commit_ts + rng.uniform(-magnitude, magnitude),
+        )
+
+    return map_timestamps(history, assign)
+
+
+def strip_timestamps(history: History) -> History:
+    """Drop every timestamp (what a pre-capture history looks like)."""
+    return map_timestamps(history, lambda txn: None)

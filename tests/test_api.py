@@ -31,6 +31,7 @@ from repro.core.checker import CheckResult
 from repro.extensions.segmented import run_segmented_workload
 from repro.listappend import A, L, ListHistoryBuilder
 from repro.storage.database import MVCCDatabase
+from repro.timestamp import stamp_serial
 from repro.workloads.generator import WorkloadParams, generate_workload
 
 from _helpers import (
@@ -71,6 +72,8 @@ class TestEveryRegisteredCombo:
             "history": serializable_history,
             "segmented_run": _segmented_run,
             "list_history": _list_history,
+            "timestamped_history": lambda: stamp_serial(
+                serializable_history()),
         }[kind]()
         options = {"workers": 2} if mode in ("parallel", "segmented") else {}
         report = check(subject, isolation, mode, engine, **options)
@@ -376,4 +379,5 @@ class TestAdaptResult:
 
     def test_engine_listing_is_stable(self):
         names = [spec.name for spec in list_engines()]
-        assert names == ["polysi", "cobra", "cobrasi", "dbcop", "naive"]
+        assert names == ["polysi", "timestamp", "cobra", "cobrasi",
+                         "dbcop", "naive"]

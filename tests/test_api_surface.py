@@ -25,6 +25,7 @@ EXPECTED_API_EXPORTS = sorted([
     "UnknownEngineError",
     "UnsupportedComboError",
     "UnsupportedOptionError",
+    "MissingTimestampsError",
     "ISOLATION_LEVELS",
     "MODES",
     "check",
@@ -39,7 +40,8 @@ EXPECTED_API_EXPORTS = sorted([
 ])
 
 #: Registered engine names, in registration order.
-EXPECTED_ENGINES = ["polysi", "cobra", "cobrasi", "dbcop", "naive"]
+EXPECTED_ENGINES = ["polysi", "timestamp", "cobra", "cobrasi", "dbcop",
+                    "naive"]
 
 #: Every registered (isolation, mode, engine) capability triple.
 EXPECTED_COMBOS = sorted([
@@ -50,6 +52,7 @@ EXPECTED_COMBOS = sorted([
     ("causal", "batch", "polysi"),
     ("ra", "batch", "polysi"),
     ("listappend", "batch", "polysi"),
+    ("si", "batch", "timestamp"),
     ("ser", "batch", "cobra"),
     ("si", "batch", "cobrasi"),
     ("si", "batch", "dbcop"),

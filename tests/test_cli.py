@@ -212,7 +212,8 @@ class TestFacadeFlags:
     def test_engines_listing(self, capsys):
         assert main(["engines"]) == 0
         out = capsys.readouterr().out
-        for name in ("polysi", "cobra", "cobrasi", "dbcop", "naive"):
+        for name in ("polysi", "timestamp", "cobra", "cobrasi", "dbcop",
+                     "naive"):
             assert name in out
         assert "si: batch, online, parallel, segmented" in out
 

@@ -120,3 +120,72 @@ class TestFileIO:
             == check_snapshot_isolation(back).satisfies_si
             == False  # noqa: E712
         )
+
+
+class TestTimestamps:
+    """Optional per-transaction (start_ts, commit_ts) fields: strictly
+    additive, exactly round-tripped, and absent files stay loadable."""
+
+    def stamped_history(self):
+        b = HistoryBuilder()
+        b.txn(0, [W("x", 1)], start_ts=0.0, commit_ts=1.0)
+        b.txn(1, [R("x", 1), W("y", 2)], start_ts=1.5, commit_ts=2.5)
+        b.txn(0, [R("y", 2)], start_ts=3.0, commit_ts=3.5)
+        b.txn(1, [W("y", 9)], status=ABORTED)
+        return b.build()
+
+    def assert_stamps_equal(self, a, b):
+        for sa, sb in zip(a.sessions, b.sessions):
+            for ta, tb in zip(sa, sb):
+                assert (ta.start_ts, ta.commit_ts) == \
+                    (tb.start_ts, tb.commit_ts), (ta.name, tb.name)
+
+    def test_json_roundtrip_preserves_timestamps(self):
+        h = self.stamped_history()
+        back = history_from_json(history_to_json(h))
+        assert histories_equal(h, back)
+        self.assert_stamps_equal(h, back)
+
+    def test_text_roundtrip_preserves_timestamps(self):
+        h = self.stamped_history()
+        back = history_from_text(history_to_text(h))
+        assert histories_equal(h, back)
+        self.assert_stamps_equal(h, back)
+
+    @pytest.mark.parametrize("fmt", ["json", "text"])
+    def test_dump_load_preserves_timestamps(self, tmp_path, fmt):
+        h = self.stamped_history()
+        path = tmp_path / f"history.{fmt}"
+        dump_history(h, str(path), fmt=fmt)
+        self.assert_stamps_equal(h, load_history(str(path), fmt=fmt))
+
+    def test_untimestamped_history_roundtrips_without_ts_fields(self):
+        import json
+
+        h = sample_history()
+        payload = json.loads(history_to_json(h))
+        assert all("ts" not in txn
+                   for sess in payload["sessions"] for txn in sess)
+        back = history_from_json(history_to_json(h))
+        assert all(t.start_ts is None and t.commit_ts is None
+                   for t in back.transactions)
+
+    def test_malformed_text_timestamp_token_rejected(self):
+        with pytest.raises(ValueError, match="malformed timestamp"):
+            history_from_text("s0 c 1.0:bogus | w(x)=1")
+
+    def test_pre_timestamp_file_loads_but_timestamp_engine_rejects(
+            self, tmp_path):
+        """A history written before timestamp capture existed (no "ts"
+        fields anywhere) must load cleanly — and the ``timestamp``
+        engine must reject it with an actionable error, not crash or
+        guess."""
+        from repro.api import MissingTimestampsError, check
+
+        path = tmp_path / "pre-pr8.json"
+        dump_history(sample_history(), str(path), fmt="json")
+        legacy = load_history(str(path), fmt="json")
+        assert check(legacy).ok  # timestamp-free engines are unaffected
+        with pytest.raises(MissingTimestampsError,
+                           match="re-collect with a current adapter"):
+            check(legacy, engine="timestamp")

@@ -161,7 +161,7 @@ class TestCollector:
     def test_events_match_history(self):
         run = collect_history(SQLiteAdapter(), SMALL, seed=5)
         assert len(run.events) == len(run.history)
-        statuses = [status for _, _, status in run.events]
+        statuses = [status for _, _, status, _ in run.events]
         assert statuses.count(COMMITTED) == run.committed
         assert statuses.count(ABORTED) == run.aborted
 
@@ -296,7 +296,7 @@ class TestRoundTrip:
 
     def test_online_event_feed_agrees(self, collected):
         checker = OnlineChecker(solve_every=8)
-        for session, ops, status in collected.events:
+        for session, ops, status, _ in collected.events:
             assert checker.add(session, ops, status=status).satisfies_si
         assert checker.finish().satisfies_si
 

@@ -38,6 +38,7 @@ def all_combos():
 #: only the façade's root "check" span.
 MANDATORY_STAGES = {
     ("polysi", "si", "batch"): {"axioms", "construct", "prune"},
+    ("timestamp", "si", "batch"): {"axioms", "validate"},
     ("polysi", "si", "online"): {"event"},
     ("polysi", "si", "parallel"): {"decompose", "pool", "shard", "prune"},
     ("polysi", "si", "segmented"): {"segment"},
@@ -81,6 +82,9 @@ def subject_for(engine, isolation, mode):
         return _segmented_run()
     if kind == "list_history":
         return _list_history()
+    if kind == "timestamped_history":
+        from repro.timestamp import stamp_serial
+        return stamp_serial(serializable_history())
     if mode == "parallel":
         return two_component_history()
     return serializable_history()

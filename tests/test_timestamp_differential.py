@@ -1,0 +1,177 @@
+"""Adversarial differential suite: the ``timestamp`` engine vs PolySI.
+
+The timestamp engine's contract is *unconditional verdict parity*: the
+fast path only ever certifies (it never declares a violation on its own
+numbers), and everything it cannot certify is re-checked by the PolySI
+pipeline — so no stamping, however adversarial, may change a verdict.
+This suite attacks that contract from three directions:
+
+- the full known-anomaly corpus and seeded random histories, serially
+  stamped (a stamping that is deliberately *not* a valid witness for
+  most of them, maximizing fallback coverage);
+- collected SQLite histories, where the database-issued logical clock
+  certifies everything on the fast path;
+- clock-skew fuzzing: random perturbations of every stamp, at noise
+  scales from microseconds to far beyond transaction length — unsafe
+  stamps must route to the fallback, never flip a verdict.
+"""
+
+import random
+
+import pytest
+
+from repro.api import check
+from repro.collect import Collector, SQLiteAdapter
+from repro.core.checker import PolySIChecker
+from repro.timestamp import (
+    TimestampChecker,
+    perturb_timestamps,
+    stamp_serial,
+)
+from repro.workloads.corpus import ANOMALY_TEMPLATES, make_anomaly
+from repro.workloads.generator import WorkloadParams, generate_workload
+from repro.workloads.random_histories import random_history
+
+from _helpers import serializable_history
+
+
+def verdicts(history, stamped=None):
+    """(timestamp verdict, polysi verdict) for one history."""
+    ts = TimestampChecker().check(stamped if stamped is not None else history)
+    ps = PolySIChecker().check(history)
+    return ts, ps
+
+
+@pytest.fixture(scope="module")
+def collected():
+    """One live SQLite collection with logical-clock timestamps."""
+    adapter = SQLiteAdapter()
+    spec = generate_workload(
+        WorkloadParams(sessions=3, txns_per_session=10, ops_per_txn=4,
+                       keys=12),
+        seed=3,
+    )
+    try:
+        return Collector(adapter).run(spec).history
+    finally:
+        adapter.close()
+
+
+class TestAnomalyCorpus:
+    """Every anomaly class, padded and serially stamped: identical
+    verdicts, and on violations the classified anomaly agrees."""
+
+    @pytest.mark.parametrize("name", sorted(ANOMALY_TEMPLATES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_verdict_and_classification_parity(self, name, seed):
+        history = make_anomaly(name, seed=seed, padding_txns=6)
+        stamped = stamp_serial(history)
+        ts_report = check(stamped, engine="timestamp")
+        ps_report = check(history)
+        assert ts_report.ok == ps_report.ok, (name, seed)
+        if not ps_report.ok:
+            ts_cx = ts_report.counterexample
+            ps_cx = ps_report.counterexample
+            assert ts_cx is not None and ps_cx is not None
+            assert ts_cx.classification == ps_cx.classification, (name, seed)
+
+
+class TestRandomHistories:
+    """Seeded unconstrained fuzz: valid and invalid histories alike."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_verdict_parity(self, seed):
+        rng = random.Random(seed)
+        history = random_history(
+            rng, sessions=3, txns_per_session=3, max_ops=4, keys=3,
+            abort_prob=0.15 if seed % 3 == 0 else 0.0,
+        )
+        ts, ps = verdicts(history, stamp_serial(history))
+        assert ts.satisfies_si == ps.satisfies_si, seed
+
+
+class TestCollectedHistories:
+    """Live SQLite: logical clocks certify everything on the fast path."""
+
+    def test_fast_path_certifies_clean_collection(self, collected):
+        ts, ps = verdicts(collected, collected)
+        assert ps.satisfies_si
+        assert ts.satisfies_si
+        assert ts.decided_by == "timestamps"
+        assert ts.stats["residue_txns"] == 0
+        assert ts.fallback_result is None
+
+    def test_facade_reports_residue_stats(self, collected):
+        report = check(collected, engine="timestamp")
+        assert report.ok
+        assert report.stats["residue_fraction"] == 0.0
+        assert report.stats["residue_reasons"] == {}
+
+
+class TestClockSkewFuzz:
+    """Perturbed stamps may only grow the residue, never the verdict."""
+
+    #: Noise magnitudes: sub-interval, interval-sized, and catastrophic.
+    MAGNITUDES = [1e-6, 0.5, 3.0, 1e4]
+
+    @pytest.mark.parametrize("magnitude", MAGNITUDES)
+    def test_perturbed_collection_never_diverges(self, collected, magnitude):
+        ps = PolySIChecker().check(collected)
+        for seed in range(5):
+            noisy = perturb_timestamps(collected, random.Random(seed),
+                                       magnitude)
+            ts = TimestampChecker().check(noisy)
+            assert ts.satisfies_si == ps.satisfies_si, (magnitude, seed)
+
+    @pytest.mark.parametrize("magnitude", MAGNITUDES)
+    @pytest.mark.parametrize("name", ["lost-update", "long-fork",
+                                      "cyclic-information-flow"])
+    def test_perturbed_anomalies_never_diverge(self, name, magnitude):
+        history = make_anomaly(name, seed=5, padding_txns=4)
+        ps = PolySIChecker().check(history)
+        assert not ps.satisfies_si
+        for seed in range(5):
+            noisy = perturb_timestamps(stamp_serial(history),
+                                       random.Random(seed), magnitude)
+            ts = TimestampChecker().check(noisy)
+            assert ts.satisfies_si == ps.satisfies_si, (magnitude, seed)
+
+    def test_large_skew_routes_to_fallback_not_certification(self, collected):
+        """Catastrophic noise on a *valid* history must not be silently
+        re-certified by the fast path: the intervals stop agreeing with
+        the reads, so the residue absorbs the ambiguity."""
+        noisy = perturb_timestamps(collected, random.Random(7), 1e4)
+        ts = TimestampChecker().check(noisy)
+        assert ts.satisfies_si
+        assert ts.stats["residue_txns"] > 0
+        assert ts.decided_by == "fallback"
+
+
+class TestUnsafeInputsStaySound:
+    """Edge shapes that must degrade to the fallback, not to a wrong
+    answer or a crash."""
+
+    def test_partially_stamped_history_falls_back(self):
+        history = serializable_history()
+        stamped = stamp_serial(history)
+        # Strip one transaction's stamps: its cluster becomes residue.
+        from repro.timestamp import map_timestamps
+        victim = next(t for t in stamped.transactions if t.committed).tid
+        partial = map_timestamps(
+            stamped,
+            lambda t: None if t.tid == victim
+            else (t.start_ts, t.commit_ts) if t.timestamped else None,
+        )
+        ts = TimestampChecker().check(partial)
+        assert ts.satisfies_si
+        assert ts.stats["residue_reasons"].get("missing") == 1
+
+    def test_equal_commit_stamps_fall_back(self):
+        history = serializable_history()
+        from repro.timestamp import map_timestamps
+        flat = map_timestamps(stamp_serial(history),
+                              lambda t: (0.0, 1.0) if t.committed else None)
+        ts = TimestampChecker().check(flat)
+        ps = PolySIChecker().check(history)
+        assert ts.satisfies_si == ps.satisfies_si
+        assert ts.stats["residue_txns"] > 0

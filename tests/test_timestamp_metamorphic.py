@@ -1,0 +1,111 @@
+"""Metamorphic properties of the ``timestamp`` engine.
+
+The fast-path conditions compare timestamps only through ``<`` / ``<=``
+/ ``==``, so they are invariant under any strictly monotone transform
+of the time axis: shifting every stamp by a constant or scaling by a
+positive factor must preserve both the verdict *and* the residue —
+transaction for transaction.  Collapsing every stamp to one value
+destroys all ordering information; on any history whose ambiguity
+clusters each contain a writer this degenerates to a 100% fallback,
+which must still return the PolySI verdict.
+
+Shift/scale constants are chosen exactly representable against the
+integer-plus-halves grid of serial and logical-clock stamps, so the
+invariance is exact rather than approximate.
+"""
+
+import pytest
+
+from repro.collect import Collector, SQLiteAdapter
+from repro.core.checker import PolySIChecker
+from repro.timestamp import (
+    TimestampChecker,
+    collapse_timestamps,
+    scale_timestamps,
+    shift_timestamps,
+    stamp_serial,
+)
+from repro.workloads.corpus import make_anomaly
+from repro.workloads.generator import WorkloadParams, generate_workload
+
+from _helpers import lost_update_history, serializable_history
+
+
+@pytest.fixture(scope="module")
+def collected():
+    """One live SQLite collection with logical-clock timestamps."""
+    adapter = SQLiteAdapter()
+    spec = generate_workload(
+        WorkloadParams(sessions=3, txns_per_session=12, ops_per_txn=4,
+                       keys=10),
+        seed=11,
+    )
+    try:
+        return Collector(adapter).run(spec).history
+    finally:
+        adapter.close()
+
+
+def subjects(collected):
+    """Timestamped histories spanning fast path, fallback, violation."""
+    return {
+        "collected": collected,
+        "serial-valid": stamp_serial(serializable_history()),
+        "serial-lost-update": stamp_serial(lost_update_history()),
+        "serial-anomaly": stamp_serial(
+            make_anomaly("long-fork", seed=2, padding_txns=4)
+        ),
+    }
+
+
+def signature(history):
+    """(verdict, residue size, residue reasons) for one checked history."""
+    result = TimestampChecker().check(history)
+    return (result.satisfies_si, result.stats["residue_txns"],
+            result.stats["residue_reasons"])
+
+
+class TestShiftInvariance:
+    @pytest.mark.parametrize("delta", [1000.0, -4096.0])
+    def test_shift_preserves_verdict_and_residue(self, collected, delta):
+        for name, history in subjects(collected).items():
+            assert signature(shift_timestamps(history, delta)) == \
+                signature(history), (name, delta)
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("factor", [2.0, 0.5, 64.0])
+    def test_scale_preserves_verdict_and_residue(self, collected, factor):
+        for name, history in subjects(collected).items():
+            assert signature(scale_timestamps(history, factor)) == \
+                signature(history), (name, factor)
+
+    def test_nonpositive_factor_rejected(self, collected):
+        with pytest.raises(ValueError):
+            scale_timestamps(collected, 0.0)
+        with pytest.raises(ValueError):
+            scale_timestamps(collected, -1.0)
+
+
+class TestCollapseDegeneracy:
+    def test_collapse_is_total_fallback_with_verdict_parity(self, collected):
+        for name, history in subjects(collected).items():
+            collapsed = collapse_timestamps(history)
+            result = TimestampChecker().check(collapsed)
+            reference = PolySIChecker().check(history)
+            assert result.satisfies_si == reference.satisfies_si, name
+            assert result.stats["residue_fraction"] == 1.0, name
+            assert result.decided_by != "timestamps", name
+
+    def test_collapse_seeds_every_writer_as_degenerate(self, collected):
+        result = TimestampChecker().check(collapse_timestamps(collected))
+        writers = sum(1 for t in collected.transactions
+                      if t.committed and t.writes)
+        assert result.stats["residue_reasons"]["degenerate"] == writers
+
+
+class TestCompositionality:
+    def test_shift_then_scale_composes(self, collected):
+        transformed = scale_timestamps(
+            shift_timestamps(collected, 512.0), 4.0)
+        assert signature(transformed) == signature(collected)
