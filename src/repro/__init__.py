@@ -51,6 +51,7 @@ from .collect import (
 )
 from .online import OnlineChecker, OnlineResult, WindowPolicy
 from .parallel import ParallelChecker, check_snapshot_isolation_parallel
+from .service import ReproService, ServiceClient, ServiceConfig
 
 __version__ = "2.0.0"
 
@@ -79,6 +80,9 @@ __all__ = [
     "ParallelChecker",
     "PolySIChecker",
     "R",
+    "ReproService",
+    "ServiceClient",
+    "ServiceConfig",
     "Transaction",
     "W",
     "WindowPolicy",

@@ -8,12 +8,17 @@ Commands:
   (old ``--stream`` / ``--parallel N`` flags remain as deprecated
   aliases for ``--mode online`` / ``--mode parallel --workers N``).
 - ``engines``           — list every registered engine with its
-  supported isolation x mode combinations.
+  supported isolation x mode combinations (``--json`` for tooling).
 - ``watch``             — run a workload against a (possibly faulty)
   store and check the transaction stream *online*, as it commits.
 - ``collect``           — run a workload against a **live database**
   (SQLite, or anything DB-API 2.0) over concurrent sessions, record
-  the observed history, and optionally check it in the same shot.
+  the observed history, and optionally check it in the same shot — or
+  stream it to a running daemon with ``--sink``.
+- ``serve``             — run the checking-as-a-service daemon:
+  ``repro-events/1`` ingestion over TCP (credit backpressure) and HTTP
+  (429 backpressure), per-tenant online checkers, and an HTTP verdict /
+  metrics / trace API (see ``docs/service.md``).
 - ``generate``          — generate a workload, run it on the bundled
   store, and write the recorded history.
 - ``audit``             — repeatedly run workloads against a (faulty)
@@ -38,13 +43,14 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 import time
 from typing import Optional, Sequence
 
 from .api import Checker, CheckerError, adapt_result
 from .api import check as facade_check
-from .api import describe_engines, engine_names
+from .api import describe_engines, engine_names, list_engines
 from .obs import (
     MetricsRegistry,
     Tracer,
@@ -231,7 +237,25 @@ def cmd_check(args) -> int:
 
 
 def cmd_engines(args) -> int:
-    """``repro engines``: list the engine registry."""
+    """``repro engines``: list the engine registry (``--json`` emits the
+    machine-readable form tooling and drift guards consume)."""
+    if args.json:
+        payload = {
+            "engines": [
+                {
+                    "name": spec.name,
+                    "summary": spec.summary,
+                    "combos": [
+                        {"isolation": isolation, "mode": mode}
+                        for isolation, mode in sorted(spec.combos)
+                    ],
+                    "options": sorted(spec.options),
+                }
+                for spec in list_engines()
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(describe_engines(verbose=args.verbose), end="")
     return 0
 
@@ -364,6 +388,17 @@ def cmd_collect(args) -> int:
     if args.out:
         dump_history(run.history, args.out, fmt=args.format)
         print(f"wrote {args.out}")
+    if args.sink:
+        from .service import ServiceClient
+
+        client = ServiceClient.from_sink(args.sink)
+        stats = client.push_events(args.tenant, run.iter_events(),
+                                   sessions=args.sessions)
+        print(
+            f"pushed {stats.sent} event(s) to {args.sink} as tenant "
+            f"{args.tenant!r} ({stats.rejected_retries} backpressure "
+            f"retries, {stats.credit_waits} credit waits)"
+        )
     if args.trace and not (args.check or args.parallel):
         args.check = True
     if not args.check and not args.parallel:
@@ -376,6 +411,48 @@ def cmd_collect(args) -> int:
     if args.trace:
         _write_trace(report, args.trace)
     return _render_report(report, explain=not report.ok, dot=args.dot)
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: run the checking daemon until interrupted, then
+    drain every tenant and report the final verdicts (exit 1 when any
+    tenant's stream violated its isolation level)."""
+    import asyncio
+
+    from .service import ReproService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        http_port=args.port,
+        tcp_port=None if args.tcp_port < 0 else args.tcp_port,
+        queue_depth=args.queue_depth,
+        max_live_total=args.max_live_total,
+        solve_every=args.solve_every,
+        retain_events=args.retain_events,
+        closure_backend=args.closure_backend,
+    )
+    service = ReproService(config)
+
+    def banner(svc) -> None:
+        endpoints = f"http://{args.host}:{svc.http_port}"
+        if svc.tcp_port is not None:
+            endpoints += f", tcp://{args.host}:{svc.tcp_port}"
+        print(f"repro service listening on {endpoints}", flush=True)
+
+    try:
+        asyncio.run(service.serve_forever(on_ready=banner))
+    except KeyboardInterrupt:
+        # Signal handlers were unavailable (rare); drain was skipped.
+        pass
+    verdicts = service.final_verdicts or {}
+    violated = 0
+    for name in sorted(verdicts):
+        payload = verdicts[name]
+        verdict = payload.get("report", {}).get("verdict", "unknown")
+        print(f"{name}: {verdict} after {payload.get('events', 0)} event(s)")
+        if verdict != "satisfied":
+            violated += 1
+    return 1 if violated else 0
 
 
 def cmd_generate(args) -> int:
@@ -543,6 +620,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-v", "--verbose", action="store_true",
                    help="also list each engine's option schema")
+    p.add_argument("--json", action="store_true",
+                   help="emit the registry as JSON (for tooling)")
     p.set_defaults(func=cmd_engines)
 
     p = sub.add_parser("watch", help="online-check a live workload stream")
@@ -603,7 +682,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="OUT",
                    help="write the check's span trace as Chrome "
                         "trace_event JSON (implies --check)")
+    p.add_argument("--sink", metavar="URL",
+                   help="stream the collected events to a running "
+                        "`repro serve` daemon (http://host:port or "
+                        "tcp://host:port)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name at the --sink daemon")
     p.set_defaults(func=cmd_collect)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the checking-as-a-service daemon",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface both listeners bind")
+    p.add_argument("--port", type=int, default=8790,
+                   help="HTTP API port (0: pick an ephemeral port)")
+    p.add_argument("--tcp-port", type=int, default=8791,
+                   help="TCP ingestion port (0: ephemeral, -1: disable)")
+    p.add_argument("--queue-depth", type=_positive_int, default=1024,
+                   help="per-tenant ingestion queue bound (the "
+                        "backpressure threshold)")
+    p.add_argument("--max-live-total", type=int, default=4096,
+                   help="global live-transaction budget divided across "
+                        "windowed tenants")
+    p.add_argument("--solve-every", type=_positive_int, default=8,
+                   help="solve each tenant's SAT residue every N txns")
+    p.add_argument("--retain-events", type=int, default=50_000,
+                   help="events retained per tenant for drain-time "
+                        "classification (0: disable)")
+    p.add_argument("--closure-backend", default=None,
+                   choices=available_closure_backends(),
+                   help="incremental-closure kernel for every tenant")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("generate", help="generate and record a workload")
     _add_workload_args(p)
@@ -642,10 +753,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbosity - args.quietness)
+    from .service import ServiceError
+
     try:
         return args.func(args)
     except (CLIError, CheckerError, OSError, ValueError,
-            AdapterError) as exc:
+            AdapterError, ServiceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

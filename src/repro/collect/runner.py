@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from ..core.history import ABORTED, COMMITTED, History, HistoryBuilder, R, W
 from .adapter import Adapter, TransactionAborted
@@ -97,6 +97,25 @@ class CollectionRun:
         if self.wall_seconds <= 0:
             return 0.0
         return (self.committed + self.aborted) / self.wall_seconds
+
+    def iter_events(self) -> Iterator[tuple]:
+        """The commit-order event feed, as a generator of ``(session,
+        ops, status, ts)`` tuples.
+
+        This is the public form of the raw ``events`` list: the order is
+        completion order (the order the database committed the
+        transactions in, which is the order an online checker must see
+        them), ``ops`` is the transaction's *observed* operation tuple,
+        and ``ts`` is the ``(start_ts, commit_ts)`` interval (``None``
+        for aborted transactions and pre-timestamp adapters).  The first
+        three elements are exactly what
+        :meth:`repro.online.OnlineChecker.add` consumes; the full tuple
+        is what the ``repro-events/1`` codec
+        (:func:`repro.histories.codec.event_to_json`) serializes and
+        what ``repro collect --sink`` pushes to a running service.
+        """
+        for event in self.events:
+            yield event
 
     def __repr__(self) -> str:
         return (

@@ -21,17 +21,36 @@ Values survive the JSON round trip when they are JSON-representable
 (``None``/ints/strings); the text codec restricts values to ints, the
 initial-value marker, and strings without parentheses or commas — the
 formats the workload generators emit.
+
+A third, *streaming* format serves the service layer
+(:mod:`repro.service`): **repro-events/1**, one commit-order event per
+JSON line.  An event is the 4-tuple the collection harness records
+(:class:`~repro.collect.runner.CollectionRun` ``events``) —
+``(session, ops, status, ts)`` — and the wire line is::
+
+    {"session": 0, "status": "committed",
+     "ops": [["w", "x", 1], ["r", "y", null]], "ts": [12.5, 13.0]}
+
+``ts`` is strictly optional (events recorded before timestamp capture
+existed parse fine and yield untimestamped transactions, so
+``History.timestamped_fraction`` stays honest), and unknown keys are
+rejected so protocol drift fails loudly instead of silently dropping
+fields.  :func:`history_to_events` / :func:`history_from_events` convert
+between a :class:`History` and its event stream; for any history whose
+sessions are all non-empty the composition round-trips byte-identically
+through both :func:`history_to_json` and :func:`history_to_text`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.history import (
     ABORTED,
     COMMITTED,
     History,
+    HistoryBuilder,
     INITIAL_VALUE,
     Operation,
     R,
@@ -39,13 +58,25 @@ from ..core.history import (
 )
 
 __all__ = [
+    "EVENTS_SCHEMA",
     "history_to_json",
     "history_from_json",
     "history_to_text",
     "history_from_text",
     "dump_history",
     "load_history",
+    "event_to_json",
+    "event_from_json",
+    "event_from_obj",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "history_to_events",
+    "history_from_events",
 ]
+
+#: Version tag of the streaming event-line format (hello lines of the
+#: service wire protocol carry it; see ``docs/service.md``).
+EVENTS_SCHEMA = "repro-events/1"
 
 
 def history_to_json(history: History) -> str:
@@ -191,3 +222,135 @@ def load_history(path: str, *, fmt: str = "json") -> History:
     if fmt == "text":
         return history_from_text(payload)
     raise ValueError(f"unknown history format: {fmt!r}")
+
+
+# -- repro-events/1: the streaming event-line format ---------------------------
+
+#: Every key an event line may carry.  ``seq`` is reserved for clients
+#: that number their events (the reject/resend protocol names it).
+_EVENT_KEYS = frozenset({"session", "status", "ops", "ts", "seq"})
+
+
+def event_to_json(event: Sequence) -> str:
+    """Serialize one collector event to a ``repro-events/1`` line.
+
+    ``event`` is ``(session, ops, status)`` or ``(session, ops, status,
+    ts)`` — the shapes :meth:`repro.collect.CollectionRun.iter_events`
+    yields and :meth:`repro.online.OnlineChecker.add` consumes.
+    """
+    session, ops, status = event[0], event[1], event[2]
+    ts = event[3] if len(event) > 3 else None
+    record: dict = {
+        "session": session,
+        "status": status,
+        "ops": [[op.kind, op.key, op.value] for op in ops],
+    }
+    if ts is not None:
+        record["ts"] = [ts[0], ts[1]]
+    return json.dumps(record, separators=(",", ":"))
+
+
+def event_from_json(line: str) -> tuple:
+    """Parse one ``repro-events/1`` line into a ``(session, ops, status,
+    ts)`` tuple.
+
+    ``ts`` is ``None`` when the line carries no timestamps — events
+    recorded before timestamp capture existed (pre-``"ts"`` producers)
+    are accepted unchanged and simply yield untimestamped transactions.
+    Unknown keys and malformed fields raise ``ValueError``.
+    """
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed event line: {exc}") from None
+    if not isinstance(data, dict):
+        raise ValueError(f"event line must be a JSON object: {line!r}")
+    return event_from_obj(data)
+
+
+def event_from_obj(data: dict) -> tuple:
+    """Validate an already-parsed ``repro-events/1`` object (the service
+    daemon parses lines once to tell control ops from events)."""
+    unknown = set(data) - _EVENT_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown event field(s) {sorted(unknown)}; this consumer "
+            f"speaks {EVENTS_SCHEMA}"
+        )
+    missing = {"session", "status", "ops"} - set(data)
+    if missing:
+        raise ValueError(f"event line missing {sorted(missing)}")
+    session = data["session"]
+    if not isinstance(session, int) or isinstance(session, bool):
+        raise ValueError(f"event session must be an int: {session!r}")
+    status = data["status"]
+    if status not in (COMMITTED, ABORTED):
+        raise ValueError(f"unknown event status: {status!r}")
+    if not isinstance(data["ops"], list):
+        raise ValueError("event ops must be an array")
+    ops = []
+    for op in data["ops"]:
+        if not isinstance(op, list) or len(op) != 3:
+            raise ValueError(f"malformed event op: {op!r}")
+        kind, key, value = op
+        ops.append(Operation(kind, key, value))
+    ts: Optional[Tuple[float, float]] = None
+    raw_ts = data.get("ts")
+    if raw_ts is not None:
+        if (not isinstance(raw_ts, list) or len(raw_ts) != 2):
+            raise ValueError(f"event ts must be [start, commit]: {raw_ts!r}")
+        ts = (raw_ts[0], raw_ts[1])
+    return (session, tuple(ops), status, ts)
+
+
+def events_to_jsonl(events: Iterable[Sequence]) -> str:
+    """Serialize an event iterable as ``repro-events/1`` JSONL."""
+    lines = [event_to_json(event) for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> List[tuple]:
+    """Parse ``repro-events/1`` JSONL (blank and ``#`` lines skipped)."""
+    events = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        events.append(event_from_json(line))
+    return events
+
+
+def history_to_events(history: History) -> List[tuple]:
+    """The history's transactions as commit-order event tuples.
+
+    Iterates ``history.transactions`` (transaction-id order — the order
+    the history was recorded in), so a collected history's event stream
+    matches the ``CollectionRun.iter_events`` feed it came from.
+    """
+    events = []
+    for txn in history.transactions:
+        ts = None
+        if txn.start_ts is not None or txn.commit_ts is not None:
+            ts = (txn.start_ts, txn.commit_ts)
+        events.append((txn.session, txn.ops, txn.status, ts))
+    return events
+
+
+def history_from_events(events: Iterable[Sequence]) -> History:
+    """Rebuild a :class:`History` from an event stream.
+
+    Events are grouped by session (arrival order preserved within each
+    session, which is the order that matters — session order is the only
+    ordering a history keeps).  Sessions are renumbered densely in
+    sorted-id order, exactly like :class:`HistoryBuilder`; a history
+    with an *empty* session is therefore not representable as an event
+    stream (its empty session vanishes on the round trip).
+    """
+    builder = HistoryBuilder()
+    for event in events:
+        session, ops, status = event[0], event[1], event[2]
+        ts = event[3] if len(event) > 3 else None
+        start_ts, commit_ts = ts if ts is not None else (None, None)
+        builder.txn(session, ops, status=status,
+                    start_ts=start_ts, commit_ts=commit_ts)
+    return builder.build()

@@ -15,6 +15,7 @@ from .metrics import (
     current_metrics,
     gauge,
     histogram,
+    prometheus_text,
     use_metrics,
 )
 from .trace import (
@@ -41,6 +42,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "prometheus_text",
     "use_metrics",
     "current_metrics",
     "validate_trace",

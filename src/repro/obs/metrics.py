@@ -9,8 +9,14 @@ and an attribute call, nothing allocated, nothing locked.
 Instruments are get-or-create by name; mutation shares the registry
 lock so concurrent threads (the online checker's caller vs a stats
 emitter) see consistent snapshots.
+
+:func:`prometheus_text` renders one or more registry snapshots in the
+Prometheus text exposition format (the service daemon's ``/metrics``
+endpoint) — dotted instrument names become underscore-separated metric
+names, and an optional label set distinguishes per-tenant registries.
 """
 
+import re
 import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -138,6 +144,64 @@ class MetricsRegistry(object):
             "histograms": {n: h.summary()
                            for n, h in sorted(histograms)},
         }
+
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(prefix, name):
+    return _METRIC_NAME.sub("_", f"{prefix}_{name}" if prefix else name)
+
+
+def _prom_labels(labels):
+    if not labels:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(snapshots, *, prefix="repro"):
+    """Render registry snapshots in the Prometheus text format.
+
+    ``snapshots`` is a sequence of ``(labels, snapshot)`` pairs —
+    ``labels`` a (possibly empty) dict rendered on every sample of that
+    snapshot, ``snapshot`` the dict :meth:`MetricsRegistry.snapshot`
+    returns.  Counters and gauges map directly; histograms emit
+    ``_count`` / ``_sum`` samples (the summary convention, minus
+    quantiles — the registry keeps no buckets).  ``# TYPE`` headers are
+    emitted once per metric name.
+    """
+    typed = {}       # metric name -> prometheus type
+    samples = []     # (name, labels_text, value)
+    for labels, snapshot in snapshots:
+        label_text = _prom_labels(labels)
+        for name, value in snapshot.get("counters", {}).items():
+            metric = _prom_name(prefix, name)
+            typed.setdefault(metric, "counter")
+            samples.append((metric, label_text, value))
+        for name, value in snapshot.get("gauges", {}).items():
+            metric = _prom_name(prefix, name)
+            typed.setdefault(metric, "gauge")
+            samples.append((metric, label_text, value))
+        for name, summary in snapshot.get("histograms", {}).items():
+            metric = _prom_name(prefix, name)
+            typed.setdefault(metric, "summary")
+            samples.append((metric + "_count", label_text, summary["count"]))
+            samples.append((metric + "_sum", label_text, summary["total"]))
+    lines = []
+    emitted_types = set()
+    for metric, label_text, value in sorted(samples):
+        base = metric[:-6] if metric.endswith("_count") else (
+            metric[:-4] if metric.endswith("_sum") else metric)
+        header = base if base in typed else metric
+        if header not in emitted_types and header in typed:
+            emitted_types.add(header)
+            lines.append(f"# TYPE {header} {typed[header]}")
+        lines.append(f"{metric}{label_text} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 @contextmanager

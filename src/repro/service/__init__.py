@@ -1,0 +1,27 @@
+"""Checking-as-a-service: the async ingestion daemon and its client.
+
+``repro serve`` (CLI) or :class:`ReproService` (library) runs one
+daemon: a TCP ``repro-events/1`` ingestion port with credit-based
+backpressure, an HTTP ingestion + verdict API, per-tenant online
+checkers behind bounded queues, and a global live-transaction budget
+driving window eviction.  :class:`ServiceClient` is the blocking
+producer/consumer side.  See ``docs/service.md``.
+"""
+
+from .client import PushStats, ServiceClient, ServiceError, parse_sink
+from .config import ServiceConfig
+from .daemon import ReproService, ServiceHandle
+from .tenants import SessionRouter, TenantChecker, TenantError
+
+__all__ = [
+    "ReproService",
+    "ServiceHandle",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceError",
+    "PushStats",
+    "parse_sink",
+    "SessionRouter",
+    "TenantChecker",
+    "TenantError",
+]

@@ -1,0 +1,281 @@
+"""Blocking client for the checking daemon.
+
+:class:`ServiceClient` is what collectors, tests, the CLI's ``collect
+--sink``, and the benchmark harness use to talk to a running
+:class:`~repro.service.ReproService`.  It speaks both ingestion paths:
+
+- **HTTP** (``http://host:port``): events go up as ``repro-events/1``
+  JSONL batches via ``POST /ingest/<tenant>``.  A **429** names the
+  accepted prefix; the client honours it by resending the rejected
+  suffix after a short backoff — backpressure slows the producer down,
+  it never loses events.
+- **TCP** (``tcp://host:port``): the credit protocol.  The client sends
+  a hello, then never has more events in flight than the server has
+  granted credit for; a stalled credit request *is* the backpressure.
+
+Everything here is synchronous stdlib (``http.client``, ``socket``) so
+collector processes and tests need no event loop of their own.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..histories.codec import EVENTS_SCHEMA, event_to_json
+
+__all__ = ["ServiceClient", "ServiceError", "PushStats"]
+
+
+class ServiceError(RuntimeError):
+    """A protocol or transport failure talking to the daemon."""
+
+
+class PushStats:
+    """Outcome of one push: everything sent was eventually accepted."""
+
+    __slots__ = ("sent", "accepted", "rejected_retries",
+                 "credit_waits")
+
+    def __init__(self):
+        self.sent = 0
+        self.accepted = 0
+        #: Events the server rejected at least once (HTTP 429 path);
+        #: every one was resent until accepted.
+        self.rejected_retries = 0
+        #: Times the TCP path had to ask for more credit.
+        self.credit_waits = 0
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (for bench/report serialization)."""
+        return {"sent": self.sent, "accepted": self.accepted,
+                "rejected_retries": self.rejected_retries,
+                "credit_waits": self.credit_waits}
+
+
+def parse_sink(url: str) -> Tuple[str, str, int]:
+    """Split a ``--sink`` URL into ``(scheme, host, port)``."""
+    scheme, sep, rest = url.partition("://")
+    if not sep or scheme not in ("http", "tcp"):
+        raise ServiceError(
+            f"bad sink URL {url!r} (want http://host:port or "
+            "tcp://host:port)"
+        )
+    host, sep, port_text = rest.rstrip("/").rpartition(":")
+    if not sep or not port_text.isdigit():
+        raise ServiceError(f"bad sink URL {url!r} (missing port)")
+    return scheme, host, int(port_text)
+
+
+class ServiceClient:
+    """Synchronous client for one daemon (HTTP API + TCP ingestion)."""
+
+    def __init__(self, host: str, http_port: int, *,
+                 tcp_port: Optional[int] = None, timeout: float = 30.0):
+        self.host = host
+        self.http_port = http_port
+        self.tcp_port = tcp_port
+        self.timeout = timeout
+
+    @classmethod
+    def from_sink(cls, url: str, *, timeout: float = 30.0
+                  ) -> "ServiceClient":
+        """Build a client from a ``--sink`` URL.  ``tcp://`` sinks still
+        need the HTTP port for verdicts, so they keep ``http_port=None``
+        and only :meth:`push_events` works."""
+        scheme, host, port = parse_sink(url)
+        if scheme == "http":
+            return cls(host, port, timeout=timeout)
+        return cls(host, None, tcp_port=port, timeout=timeout)
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[bytes] = None,
+                 *, content_type: str = "application/json"):
+        if self.http_port is None:
+            raise ServiceError("client has no HTTP port (tcp:// sink)")
+        conn = http.client.HTTPConnection(self.host, self.http_port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Content-Type": content_type}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceError(f"{method} {path} failed: {exc}") from exc
+        finally:
+            conn.close()
+        return response.status, payload
+
+    def _request_json(self, method: str, path: str,
+                      body: Optional[bytes] = None) -> Tuple[int, dict]:
+        status, payload = self._request(method, path, body)
+        try:
+            return status, json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{method} {path}: non-JSON reply {payload[:200]!r}"
+            ) from exc
+
+    # -- query API -----------------------------------------------------------
+
+    def healthz(self) -> bool:
+        """True when the daemon answers ``GET /healthz`` with 200."""
+        status, _ = self._request_json("GET", "/healthz")
+        return status == 200
+
+    def readyz(self) -> dict:
+        """``GET /readyz`` payload (``ready`` flips false once draining)."""
+        _, data = self._request_json("GET", "/readyz")
+        return data
+
+    def verdict(self, tenant: str) -> dict:
+        """One tenant's verdict payload (``GET /verdict/<tenant>``)."""
+        status, data = self._request_json("GET", f"/verdict/{tenant}")
+        if status != 200:
+            raise ServiceError(f"verdict/{tenant}: {status} {data}")
+        return data
+
+    def verdicts(self) -> Dict[str, dict]:
+        """Every tenant's verdict payload, keyed by tenant name."""
+        status, data = self._request_json("GET", "/verdicts")
+        if status != 200:
+            raise ServiceError(f"verdicts: {status} {data}")
+        return data
+
+    def stats(self) -> dict:
+        """Live service stats (queue depths, live txns, budget shares)."""
+        _, data = self._request_json("GET", "/stats")
+        return data
+
+    def tenants(self) -> List[str]:
+        """Names of the tenants the daemon currently knows."""
+        _, data = self._request_json("GET", "/tenants")
+        return data["tenants"]
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition text from ``GET /metrics``."""
+        status, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"metrics: {status}")
+        return payload.decode("utf-8")
+
+    def trace(self, tenant: str) -> dict:
+        """A tenant's live Chrome-trace document (``GET /trace/<t>``)."""
+        status, data = self._request_json("GET", f"/trace/{tenant}")
+        if status != 200:
+            raise ServiceError(f"trace/{tenant}: {status} {data}")
+        return data
+
+    def drain(self) -> Dict[str, dict]:
+        """Drain every tenant; returns the final verdict payloads."""
+        status, data = self._request_json("POST", "/drain")
+        if status != 200:
+            raise ServiceError(f"drain: {status} {data}")
+        return data["verdicts"]
+
+    def shutdown(self) -> Dict[str, dict]:
+        """Drain then stop the daemon; returns the final verdicts."""
+        status, data = self._request_json("POST", "/shutdown")
+        if status != 200:
+            raise ServiceError(f"shutdown: {status} {data}")
+        return data["verdicts"]
+
+    # -- ingestion -----------------------------------------------------------
+
+    def push_events(self, tenant: str, events: Iterable[Sequence], *,
+                    sessions: Optional[int] = None, batch: int = 256,
+                    backoff: float = 0.02,
+                    max_retries: int = 2000) -> PushStats:
+        """Push an event stream; blocks until *every* event is accepted.
+
+        Routes over TCP when the client was built from a ``tcp://``
+        sink, otherwise over HTTP with 429 retry.  Order is preserved:
+        batches go up sequentially, and a partially accepted batch is
+        resent from its first rejected event.
+        """
+        if self.tcp_port is not None and self.http_port is None:
+            return self.push_events_tcp(tenant, events, sessions=sessions)
+        stats = PushStats()
+        query = f"?sessions={sessions}" if sessions is not None else ""
+        path = f"/ingest/{tenant}{query}"
+        pending: List[str] = []
+
+        def flush(lines: List[str]) -> None:
+            retries = 0
+            while lines:
+                body = ("\n".join(lines) + "\n").encode("utf-8")
+                status, data = self._request_json("POST", path, body)
+                if status == 200:
+                    stats.accepted += len(lines)
+                    return
+                if status == 429:
+                    accepted = data.get("accepted", 0)
+                    stats.accepted += accepted
+                    stats.rejected_retries += len(lines) - accepted
+                    lines = lines[accepted:]
+                    retries += 1
+                    if retries > max_retries:
+                        raise ServiceError(
+                            f"ingest/{tenant}: gave up after "
+                            f"{max_retries} backpressure retries"
+                        )
+                    time.sleep(min(backoff * (1 + retries / 10), 0.5))
+                    continue
+                raise ServiceError(f"ingest/{tenant}: {status} {data}")
+
+        for event in events:
+            pending.append(event_to_json(event))
+            stats.sent += 1
+            if len(pending) >= batch:
+                flush(pending)
+                pending = []
+        if pending:
+            flush(pending)
+        return stats
+
+    def push_events_tcp(self, tenant: str, events: Iterable[Sequence], *,
+                        sessions: Optional[int] = None) -> PushStats:
+        """Push over the TCP credit protocol (stall-based backpressure)."""
+        if self.tcp_port is None:
+            raise ServiceError("client has no TCP port")
+        stats = PushStats()
+        with socket.create_connection((self.host, self.tcp_port),
+                                      timeout=self.timeout) as sock:
+            rfile = sock.makefile("rb")
+
+            def send(obj_or_line: str) -> None:
+                sock.sendall((obj_or_line + "\n").encode("utf-8"))
+
+            def recv() -> dict:
+                line = rfile.readline()
+                if not line:
+                    raise ServiceError("server closed TCP connection")
+                return json.loads(line)
+
+            hello: dict = {"hello": EVENTS_SCHEMA, "tenant": tenant}
+            if sessions is not None:
+                hello["sessions"] = sessions
+            send(json.dumps(hello, separators=(",", ":")))
+            reply = recv()
+            if not reply.get("ok"):
+                raise ServiceError(f"hello rejected: {reply.get('error')}")
+            credit = reply.get("credit", 0)
+            for event in events:
+                while credit <= 0:
+                    stats.credit_waits += 1
+                    send('{"op":"credit"}')
+                    credit = recv().get("credit", 0)
+                send(event_to_json(event))
+                credit -= 1
+                stats.sent += 1
+            send('{"op":"end"}')
+            reply = recv()
+            if not reply.get("ok"):
+                raise ServiceError(f"end rejected: {reply.get('error')}")
+            stats.accepted = reply.get("accepted", 0)
+            rfile.close()
+        return stats

@@ -1,0 +1,148 @@
+"""A minimal asyncio HTTP/1.1 layer for the service daemon.
+
+The standard library's ``http.server`` is thread-per-connection and
+cannot share an event loop with the TCP ingestion listener, so the
+daemon speaks a deliberately small subset of HTTP/1.1 directly over
+asyncio streams: request line + headers + ``Content-Length`` bodies in,
+status + headers + body out, keep-alive honoured until either side asks
+to close.  No chunked encoding, no TLS, no continuations — clients are
+collectors and scrapers, both of which speak this subset natively
+(``http.client``, Prometheus, curl).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+__all__ = ["HttpRequest", "HttpError", "read_request", "write_response",
+           "json_response", "text_response"]
+
+#: Upper bound on an ingestion body (16 MiB); a push larger than this is
+#: a misbehaving client, not a workload.
+MAX_BODY = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A malformed or oversized request (connection is closed after)."""
+
+
+class HttpRequest:
+    """One parsed request: method, path (+query), headers, body bytes."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: Dict[str, str],
+                 headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """The body parsed as JSON; raises :class:`HttpError` if malformed."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(f"bad JSON body: {exc}") from None
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    query: Dict[str, str] = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        query[key] = value
+    return query
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[HttpRequest]:
+    """Read one request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(f"malformed request line: {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    path, _, raw_query = target.partition("?")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise HttpError("connection closed mid-headers")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise HttpError(f"malformed header line: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = 0
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError("bad Content-Length") from None
+        if length < 0 or length > MAX_BODY:
+            raise HttpError(f"unacceptable Content-Length {length}")
+    body = b""
+    if length:
+        body = await reader.readexactly(length)
+    return HttpRequest(method, path, _parse_query(raw_query), headers, body)
+
+
+def write_response(writer: asyncio.StreamWriter, status: int, body: bytes,
+                   *, content_type: str = "application/json",
+                   keep_alive: bool = True,
+                   extra_headers: Optional[Tuple[Tuple[str, str], ...]] = None
+                   ) -> None:
+    """Serialize one response onto ``writer`` (caller drains)."""
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers or ():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+
+
+def json_response(writer: asyncio.StreamWriter, status: int, payload,
+                  *, keep_alive: bool = True) -> None:
+    """Write ``payload`` as a pretty-printed ``application/json`` reply."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    write_response(writer, status, body, keep_alive=keep_alive)
+
+
+def text_response(writer: asyncio.StreamWriter, status: int, text: str,
+                  *, content_type: str = "text/plain; charset=utf-8",
+                  keep_alive: bool = True) -> None:
+    """Write a plain-text reply (used by the Prometheus ``/metrics``)."""
+    write_response(writer, status, text.encode("utf-8"),
+                   content_type=content_type, keep_alive=keep_alive)

@@ -1,0 +1,346 @@
+"""Per-tenant online checkers and the session router.
+
+Each tenant (an isolation domain: one application, one keyspace) owns
+
+- a **bounded queue** of ingested events (``ServiceConfig.queue_depth``)
+  — the backpressure boundary.  Ingestion *offers* events; a full queue
+  is reported to the producer (HTTP 429 / withheld TCP credit), never
+  absorbed into unbounded buffering;
+- a **worker thread** draining the queue into an
+  :class:`~repro.online.OnlineChecker` — checking runs off the event
+  loop, so a slow solve in one tenant never stalls ingestion or the
+  HTTP API for the others;
+- its own :class:`~repro.obs.Tracer` and
+  :class:`~repro.obs.MetricsRegistry`, installed ambiently inside the
+  worker thread: every event the checker processes becomes a root span
+  in the tenant's trace buffer, and the ``online.*`` / ``window.*``
+  gauges stay per-tenant instead of clobbering one another.
+
+The :class:`SessionRouter` holds the tenant table and the **global
+memory budget**: ``ServiceConfig.max_live_total`` live transactions are
+divided across the windowed tenants, and every tenant's
+:class:`~repro.online.WindowPolicy` is re-targeted in place whenever a
+tenant joins — eviction pressure follows the service-wide budget, not a
+fixed per-checker count.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import re
+import threading
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..api import adapt_result
+from ..histories.codec import history_from_events
+from ..obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+from ..online import OnlineChecker, WindowPolicy
+from .config import ServiceConfig
+
+__all__ = ["TenantChecker", "SessionRouter", "TenantError"]
+
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+class TenantError(ValueError):
+    """A tenant-level protocol error (bad name, undeclared session)."""
+
+
+class TenantChecker:
+    """One tenant's queue + worker thread + online checker."""
+
+    def __init__(self, name: str, config: ServiceConfig, *,
+                 sessions: Optional[Iterable[int]] = None,
+                 window: Optional[WindowPolicy] = None):
+        self.name = name
+        self.config = config
+        self.sessions = frozenset(sessions) if sessions is not None else None
+        self.window = window
+        self.queue: "queue.Queue" = queue.Queue(maxsize=config.queue_depth)
+        self.tracer = Tracer(max_spans=config.max_spans)
+        self.registry = MetricsRegistry()
+        self._checker = OnlineChecker(
+            solve_every=config.solve_every,
+            window=window,
+            sessions=self.sessions if window is not None else None,
+            closure_backend=config.closure_backend,
+        )
+        #: Latest verdict snapshot, replaced (never mutated) by the
+        #: worker after each event — HTTP readers take the reference
+        #: without locking.
+        self.latest = self._checker.result()
+        self.final_payload: Optional[dict] = None
+        self.events_seen = 0
+        self.events_rejected = 0
+        self.committed_seen = 0
+        self.stamped_seen = 0
+        self._retained: Optional[List[tuple]] = (
+            [] if config.retain_events > 0 else None
+        )
+        self.retention_truncated = config.retain_events == 0
+        #: Called (from the worker thread) after every dequeue, so the
+        #: event loop can wake TCP producers stalled on a full queue.
+        self.on_space: Optional[Callable[[], None]] = None
+        self._finished = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"tenant-{name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- ingestion side (event loop / HTTP handler threads) -----------------
+
+    def offer(self, event: tuple) -> bool:
+        """Try to enqueue one event; ``False`` means backpressure.
+
+        A rejected event is *counted* and reported to the producer — it
+        is the producer's to resend, so nothing is silently lost (see
+        DESIGN.md S13).
+        """
+        if self._finished.is_set():
+            raise TenantError(f"tenant {self.name!r} is drained")
+        try:
+            self.queue.put_nowait(("event", event))
+        except queue.Full:
+            self.events_rejected += 1
+            self.registry.counter("tenant.rejected").inc()
+            return False
+        return True
+
+    def free_slots(self) -> int:
+        """Approximate free queue capacity (the TCP credit source)."""
+        return max(0, self.config.queue_depth - self.queue.qsize())
+
+    # -- worker thread ------------------------------------------------------
+
+    def _run(self) -> None:
+        with use_tracer(self.tracer), use_metrics(self.registry):
+            while True:
+                kind, payload = self.queue.get()
+                if kind == "finish":
+                    try:
+                        self._finish(payload)
+                    finally:
+                        self._finished.set()
+                    return
+                self._handle_event(payload)
+                on_space = self.on_space
+                if on_space is not None:
+                    on_space()
+
+    def _handle_event(self, event: tuple) -> None:
+        session, ops, status = event[0], event[1], event[2]
+        ts = event[3] if len(event) > 3 else None
+        self.events_seen += 1
+        if status == "committed":
+            self.committed_seen += 1
+            if ts is not None and ts[0] is not None and ts[1] is not None:
+                self.stamped_seen += 1
+        if self._retained is not None:
+            if len(self._retained) < self.config.retain_events:
+                self._retained.append(event)
+            else:
+                self._retained = None
+                self.retention_truncated = True
+        try:
+            self.latest = self._checker.add(session, ops, status=status)
+        except ValueError as exc:
+            # Undeclared session under a window, duplicate values, ...:
+            # latch an error verdict instead of killing the worker.
+            self.latest = self._error_result(str(exc))
+        self.registry.gauge("tenant.events").set(self.events_seen)
+
+    def _error_result(self, detail: str):
+        from ..online.checker import OnlineResult
+
+        out = OnlineResult()
+        out.satisfies_si = False
+        out.final = True
+        out.decided_by = "ingest-error"
+        out.stats = {"error": detail}
+        return out
+
+    def _finish(self, reply: "queue.Queue") -> None:
+        result = self._checker.finish()
+        self.latest = result
+        payload = self._payload_for(result, final=True)
+        if (not result.satisfies_si and self.config.explain_on_drain
+                and self._retained is not None
+                and result.decided_by != "ingest-error"):
+            payload.update(self._recheck_classification())
+        self.final_payload = payload
+        reply.put(payload)
+
+    def _recheck_classification(self) -> dict:
+        """Batch re-check of the retained event log, for an anomaly
+        classification the online witness cannot always provide.  The
+        *verdict* stays the online one; this only adds explanation."""
+        from ..api import check as facade_check
+
+        try:
+            history = history_from_events(self._retained)
+            report = facade_check(history, trace=False)
+        except Exception as exc:  # noqa: BLE001 - explanation is optional
+            return {"recheck_error": str(exc)}
+        out: dict = {"recheck_verdict": report.verdict}
+        example = report.counterexample
+        if example is not None:
+            out["classification"] = example.classification
+        return out
+
+    # -- drain --------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> dict:
+        """Flush the queue, finish the checker, return the final verdict
+        payload.  Blocking — call from a worker/executor thread."""
+        if self.final_payload is not None:
+            return self.final_payload
+        reply: "queue.Queue" = queue.Queue()
+        self.queue.put(("finish", reply))
+        payload = reply.get(timeout=timeout)
+        self._thread.join(timeout=timeout)
+        return payload
+
+    @property
+    def drained(self) -> bool:
+        return self._finished.is_set()
+
+    # -- verdict surface ----------------------------------------------------
+
+    def verdict_payload(self) -> dict:
+        """The tenant's current verdict as a JSON-shaped dict (final if
+        drained, provisional otherwise)."""
+        if self.final_payload is not None:
+            return self.final_payload
+        return self._payload_for(self.latest, final=False)
+
+    def _payload_for(self, result, *, final: bool) -> dict:
+        report = adapt_result(result, isolation="si", mode="online",
+                              engine="polysi")
+        body = json.loads(report.to_json())
+        payload = {
+            "tenant": self.name,
+            "final": final,
+            "events": self.events_seen,
+            "rejected": self.events_rejected,
+            "timestamped_fraction": (
+                round(self.stamped_seen / self.committed_seen, 6)
+                if self.committed_seen else 0.0
+            ),
+            "retention_truncated": self.retention_truncated,
+            "report": body,
+        }
+        if not report.ok:
+            example = report.counterexample
+            if example is not None:
+                payload["classification"] = example.classification
+        return payload
+
+    def snapshot(self) -> dict:
+        """Live stats block for ``/stats`` (no verdict adaptation)."""
+        stats = dict(self.latest.stats)
+        return {
+            "tenant": self.name,
+            "events": self.events_seen,
+            "rejected": self.events_rejected,
+            "queue_depth": self.queue.qsize(),
+            "drained": self.drained,
+            "window_share": (self.window.max_live
+                             if self.window is not None else None),
+            "live": stats.get("live", 0),
+            "window": stats.get("window", {}),
+            "satisfies_si": self.latest.satisfies_si,
+        }
+
+
+class SessionRouter:
+    """Tenant table + global live-transaction budget."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self._tenants: Dict[str, TenantChecker] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> Optional[TenantChecker]:
+        with self._lock:
+            return self._tenants.get(name)
+
+    def get_or_create(self, name: str,
+                      sessions: Optional[Iterable[int]] = None
+                      ) -> TenantChecker:
+        """Resolve (or register) tenant ``name``.
+
+        Declaring ``sessions`` opts the tenant into windowed eviction;
+        its window share comes out of the global budget, and every
+        windowed tenant's share is re-targeted when the tenant count
+        changes.  A tenant without a declared session universe runs
+        unwindowed (eviction would be unsound — see
+        :class:`~repro.online.OnlineChecker`).
+        """
+        if not _TENANT_NAME.match(name or ""):
+            raise TenantError(
+                f"bad tenant name {name!r} (want [A-Za-z0-9._-]{{1,64}})"
+            )
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is not None:
+                if (sessions is not None and tenant.sessions is not None
+                        and not set(sessions) <= tenant.sessions):
+                    raise TenantError(
+                        f"tenant {name!r} already declared sessions "
+                        f"{sorted(tenant.sessions)}; cannot widen them "
+                        "mid-stream (eviction decisions assumed the "
+                        "original universe)"
+                    )
+                return tenant
+            window = None
+            if sessions is not None:
+                window = WindowPolicy(max_live=self.config.max_live_total)
+            tenant = TenantChecker(name, self.config, sessions=sessions,
+                                   window=window)
+            self._tenants[name] = tenant
+            self._rebalance_locked()
+            return tenant
+
+    def _rebalance_locked(self) -> None:
+        """Re-divide ``max_live_total`` across windowed tenants (the
+        policies are re-targeted in place; the checkers consult them on
+        every add)."""
+        windowed = [t for t in self._tenants.values()
+                    if t.window is not None and not t.drained]
+        if not windowed:
+            return
+        share = max(self.config.min_live_share,
+                    self.config.max_live_total // len(windowed))
+        for tenant in windowed:
+            tenant.window.max_live = share
+
+    def tenants(self) -> List[TenantChecker]:
+        with self._lock:
+            return list(self._tenants.values())
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def drain_all(self, timeout: Optional[float] = None) -> Dict[str, dict]:
+        """Drain every tenant (flush queues, finish checkers); returns
+        final verdict payloads by tenant.  Blocking."""
+        verdicts = {}
+        for tenant in self.tenants():
+            verdicts[tenant.name] = tenant.drain(timeout=timeout)
+        with self._lock:
+            self._rebalance_locked()
+        return verdicts
+
+    def totals(self) -> dict:
+        """Aggregate live/eviction counters for ``/stats`` and gauges."""
+        live = evicted = events = rejected = 0
+        for tenant in self.tenants():
+            stats = tenant.latest.stats
+            live += stats.get("live", 0)
+            evicted += stats.get("window", {}).get("evicted", 0)
+            events += tenant.events_seen
+            rejected += tenant.events_rejected
+        return {"live": live, "evicted": evicted, "events": events,
+                "rejected": rejected, "tenants": len(self.tenants())}

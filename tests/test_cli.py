@@ -284,3 +284,78 @@ class TestAuditAndCorpus:
         out = capsys.readouterr().out
         assert "mariadb-galera-sim" in out
         assert "dgraph-sim" in out
+
+
+class TestEnginesJson:
+    """`repro engines --json`: the machine-readable registry listing,
+    drift-guarded against the live registry."""
+
+    def _payload(self, capsys):
+        assert main(["engines", "--json"]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_json_parses_and_names_match_registry(self, capsys):
+        from repro.api import engine_names
+
+        payload = self._payload(capsys)
+        assert [e["name"] for e in payload["engines"]] == engine_names()
+
+    def test_json_combos_match_supported_combos(self, capsys):
+        """Every (isolation, mode, engine) triple in the JSON listing is
+        exactly the registry's supported_combos() — the CLI cannot
+        drift from the facade."""
+        from repro.api import supported_combos
+
+        payload = self._payload(capsys)
+        listed = {
+            (combo["isolation"], combo["mode"], engine["name"])
+            for engine in payload["engines"]
+            for combo in engine["combos"]
+        }
+        assert listed == set(supported_combos())
+
+    def test_json_lists_option_names(self, capsys):
+        payload = self._payload(capsys)
+        by_name = {e["name"]: e for e in payload["engines"]}
+        assert "workers" in by_name["polysi"]["options"]
+
+    def test_text_listing_unchanged_by_flag_addition(self, capsys):
+        """The human listing still renders without --json."""
+        assert main(["engines"]) == 0
+        assert "polysi" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_rejects_bad_queue_depth(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--queue-depth", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_collect_sink_requires_valid_url(self, capsys):
+        assert main(["collect", "--sessions", "2", "--txns", "2",
+                     "--sink", "gopher://x:1"]) == 2
+        assert "bad sink URL" in capsys.readouterr().err
+
+    def test_collect_sink_unreachable_daemon_is_error(self, capsys):
+        # Port 1 on localhost is never listening.
+        assert main(["collect", "--sessions", "2", "--txns", "2",
+                     "--sink", "http://127.0.0.1:1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_collect_pushes_to_live_daemon(self, capsys):
+        from repro.service import ReproService, ServiceConfig, ServiceClient
+
+        service = ReproService(ServiceConfig(http_port=0, tcp_port=None))
+        handle = service.start_in_thread()
+        try:
+            code = main(["collect", "--sessions", "3", "--txns", "3",
+                         "--seed", "2",
+                         "--sink", f"http://127.0.0.1:{handle.http_port}",
+                         "--tenant", "cli"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "pushed" in out and "tenant 'cli'" in out
+            verdicts = handle.drain()
+            assert verdicts["cli"]["report"]["verdict"] == "satisfied"
+        finally:
+            handle.stop()

@@ -418,3 +418,34 @@ class TestCollectCLI:
         ])
         assert code == 0
         assert "dbapi:sqlite3" in capsys.readouterr().out
+
+
+class TestIterEvents:
+    """CollectionRun.iter_events: the public commit-order event feed."""
+
+    def test_yields_commit_order_4_tuples(self):
+        run = collect_history(SQLiteAdapter(), SMALL, seed=5)
+        events = list(run.iter_events())
+        assert events == list(run.events)
+        assert len(events) == len(run.history)
+        for session, ops, status, ts in events:
+            assert isinstance(session, int)
+            assert status in (COMMITTED, ABORTED)
+            assert len(ops) >= 1
+            assert ts is None or len(ts) == 2
+
+    def test_is_a_fresh_generator_each_call(self):
+        run = collect_history(SQLiteAdapter(), SMALL, seed=5)
+        first = list(run.iter_events())
+        assert list(run.iter_events()) == first  # not a one-shot iterator
+
+    def test_feed_replays_into_online_checker(self):
+        """The documented contract: iter_events() drives OnlineChecker
+        to the same verdict as the batch check of run.history."""
+        run = collect_history(SQLiteAdapter(), SMALL, seed=5)
+        checker = OnlineChecker()
+        for session, ops, status, _ts in run.iter_events():
+            checker.add(session, ops, status=status)
+        online = checker.finish()
+        batch = check_snapshot_isolation(run.history)
+        assert online.satisfies_si == batch.satisfies_si
