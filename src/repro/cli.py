@@ -430,6 +430,7 @@ def cmd_serve(args) -> int:
         solve_every=args.solve_every,
         retain_events=args.retain_events,
         closure_backend=args.closure_backend,
+        max_line_bytes=args.max_line_bytes,
     )
     service = ReproService(config)
 
@@ -714,6 +715,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--closure-backend", default=None,
                    choices=available_closure_backends(),
                    help="incremental-closure kernel for every tenant")
+    p.add_argument("--max-line-bytes", type=_positive_int,
+                   default=1_048_576,
+                   help="longest accepted wire line (event / HTTP "
+                        "header), in bytes")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("generate", help="generate and record a workload")

@@ -268,6 +268,13 @@ def event_from_json(line: str) -> tuple:
     return event_from_obj(data)
 
 
+#: The only types a wire field may carry into an :class:`Operation` or
+#: timestamp.  JSON arrays/objects are unhashable — letting one through
+#: would blow up far from the parse (inside a checker's key/value maps),
+#: so the codec rejects them at the boundary.
+_SCALAR = (str, int, float, bool, type(None))
+
+
 def event_from_obj(data: dict) -> tuple:
     """Validate an already-parsed ``repro-events/1`` object (the service
     daemon parses lines once to tell control ops from events)."""
@@ -293,12 +300,26 @@ def event_from_obj(data: dict) -> tuple:
         if not isinstance(op, list) or len(op) != 3:
             raise ValueError(f"malformed event op: {op!r}")
         kind, key, value = op
+        if not isinstance(kind, str):
+            raise ValueError(f"event op kind must be a string: {kind!r}")
+        if not isinstance(key, _SCALAR):
+            raise ValueError(f"event op key must be a JSON scalar: {key!r}")
+        if not isinstance(value, _SCALAR):
+            raise ValueError(
+                f"event op value must be a JSON scalar: {value!r}"
+            )
         ops.append(Operation(kind, key, value))
     ts: Optional[Tuple[float, float]] = None
     raw_ts = data.get("ts")
     if raw_ts is not None:
         if (not isinstance(raw_ts, list) or len(raw_ts) != 2):
             raise ValueError(f"event ts must be [start, commit]: {raw_ts!r}")
+        for stamp in raw_ts:
+            if stamp is not None and (isinstance(stamp, bool)
+                                      or not isinstance(stamp, (int, float))):
+                raise ValueError(
+                    f"event ts entries must be numbers or null: {raw_ts!r}"
+                )
         ts = (raw_ts[0], raw_ts[1])
     return (session, tuple(ops), status, ts)
 

@@ -56,6 +56,11 @@ class ServiceConfig:
     explain_on_drain: bool = True
     #: TCP credit grant cap per reply (bounds per-connection burst).
     credit_cap: int = 256
+    #: StreamReader buffer limit for both listeners — the longest single
+    #: ``repro-events/1`` event line (or HTTP request/header line) the
+    #: daemon accepts.  An over-limit line gets a protocol error reply
+    #: instead of asyncio's bare LimitOverrunError connection drop.
+    max_line_bytes: int = 1_048_576
     #: Extra per-tenant span-buffer bound (repro-trace/1 ``dropped``
     #: counts past it).
     max_spans: int = 100_000
@@ -73,3 +78,5 @@ class ServiceConfig:
             raise ValueError("credit_cap must be >= 1")
         if self.retain_events < 0:
             raise ValueError("retain_events must be >= 0")
+        if self.max_line_bytes < 1024:
+            raise ValueError("max_line_bytes must be >= 1024")

@@ -87,12 +87,14 @@ class ReproService:
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
         self._http_server = await asyncio.start_server(
-            self._handle_http, self.config.host, self.config.http_port
+            self._handle_http, self.config.host, self.config.http_port,
+            limit=self.config.max_line_bytes,
         )
         self.http_port = self._http_server.sockets[0].getsockname()[1]
         if self.config.tcp_port is not None:
             self._tcp_server = await asyncio.start_server(
-                self._handle_tcp, self.config.host, self.config.tcp_port
+                self._handle_tcp, self.config.host, self.config.tcp_port,
+                limit=self.config.max_line_bytes,
             )
             self.tcp_port = self._tcp_server.sockets[0].getsockname()[1]
 
@@ -235,9 +237,21 @@ class ReproService:
                 (json.dumps(payload, separators=(",", ":")) + "\n").encode()
             )
 
+        async def read_line() -> Optional[bytes]:
+            """One protocol line; ``None`` means an over-limit line was
+            already answered with an error (caller closes)."""
+            try:
+                return await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                reply({"ok": False, "error":
+                       f"line exceeds {self.config.max_line_bytes} bytes"})
+                await writer.drain()
+                return None
+
         accepted = 0
+        rejected = 0
         try:
-            hello_line = await reader.readline()
+            hello_line = await read_line()
             if not hello_line:
                 return
             try:
@@ -261,7 +275,7 @@ class ReproService:
                    "credit": self._credit(tenant)})
             await writer.drain()
             while True:
-                line = await reader.readline()
+                line = await read_line()
                 if not line:
                     break
                 text = line.strip()
@@ -285,8 +299,11 @@ class ReproService:
                             await self._wait_for_space(tenant)
                         reply({"credit": self._credit(tenant)})
                     elif op == "end":
+                        # Both counts are this connection's, not the
+                        # tenant's — collectors sharing a tenant must
+                        # not see each other's backpressure.
                         reply({"ok": True, "accepted": accepted,
-                               "rejected": tenant.events_rejected})
+                               "rejected": rejected})
                     else:
                         reply({"ok": False, "error": f"unknown op {op!r}"})
                     await writer.drain()
@@ -303,6 +320,11 @@ class ReproService:
                     return
                 try:
                     while not tenant.offer(event):
+                        rejected += 1
+                        if self.draining:
+                            reply({"ok": False, "error": "draining"})
+                            await writer.drain()
+                            return
                         await self._wait_for_space(tenant)
                 except TenantError as exc:
                     reply({"ok": False, "error": str(exc)})
@@ -449,7 +471,6 @@ class ReproService:
                 )
             except ValueError:
                 raise HttpError(f"bad sessions query {raw_sessions!r}")
-        tenant = self._resolve_tenant(tenant_name, sessions)
         try:
             lines = request.body.decode("utf-8").splitlines()
         except UnicodeDecodeError as exc:
@@ -466,12 +487,23 @@ class ReproService:
                 events.append(event_from_obj(data))
             except ValueError as exc:
                 raise HttpError(str(exc))
+        # Resolve the tenant only after the batch parses — a malformed
+        # request must not register (or window) anything.
+        tenant = self._resolve_tenant(tenant_name, sessions)
         accepted = 0
-        for event in events:
-            if not tenant.offer(event):
-                break
-            accepted += 1
-            self.metrics.counter("service.events_ingested").inc()
+        try:
+            for event in events:
+                if not tenant.offer(event):
+                    break
+                accepted += 1
+                self.metrics.counter("service.events_ingested").inc()
+        except TenantError as exc:
+            # A drain started mid-batch: the accepted prefix is already
+            # queued ahead of the finish sentinel (it WILL be checked);
+            # the rest is the producer's to keep.
+            json_response(writer, 503,
+                          {"error": str(exc), "accepted": accepted})
+            return True
         rejected = len(events) - accepted
         if rejected:
             self.metrics.counter("service.events_rejected").inc(rejected)

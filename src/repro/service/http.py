@@ -82,6 +82,8 @@ async def read_request(reader: asyncio.StreamReader
         line = await reader.readline()
     except (ConnectionError, asyncio.IncompleteReadError):
         return None
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HttpError("request line too long") from None
     if not line:
         return None
     parts = line.decode("latin-1").strip().split()
@@ -91,7 +93,10 @@ async def read_request(reader: asyncio.StreamReader
     path, _, raw_query = target.partition("?")
     headers: Dict[str, str] = {}
     while True:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise HttpError("header line too long") from None
         if not line:
             raise HttpError("connection closed mid-headers")
         text = line.decode("latin-1").strip()
@@ -111,7 +116,10 @@ async def read_request(reader: asyncio.StreamReader
             raise HttpError(f"unacceptable Content-Length {length}")
     body = b""
     if length:
-        body = await reader.readexactly(length)
+        try:
+            body = await reader.readexactly(length)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
     return HttpRequest(method, path, _parse_query(raw_query), headers, body)
 
 

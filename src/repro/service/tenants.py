@@ -30,6 +30,7 @@ import json
 import queue
 import re
 import threading
+import time
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..api import adapt_result
@@ -78,10 +79,20 @@ class TenantChecker:
         self._retained: Optional[List[tuple]] = (
             [] if config.retain_events > 0 else None
         )
+        #: First ingest failure, latched: an event that was acknowledged
+        #: but not absorbed poisons the stream, so the *final* verdict
+        #: must stay the error — ``_checker.finish()`` alone would
+        #: happily report on the partial stream it did absorb.
+        self._ingest_error: Optional[str] = None
         self.retention_truncated = config.retain_events == 0
         #: Called (from the worker thread) after every dequeue, so the
         #: event loop can wake TCP producers stalled on a full queue.
         self.on_space: Optional[Callable[[], None]] = None
+        #: Set (before the finish sentinel is enqueued) once a drain has
+        #: started: every later ``offer`` raises instead of slipping an
+        #: event behind the sentinel, where it would be acknowledged but
+        #: never checked.
+        self.draining = False
         self._finished = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name=f"tenant-{name}", daemon=True
@@ -97,7 +108,7 @@ class TenantChecker:
         is the producer's to resend, so nothing is silently lost (see
         DESIGN.md S13).
         """
-        if self._finished.is_set():
+        if self.draining or self._finished.is_set():
             raise TenantError(f"tenant {self.name!r} is drained")
         try:
             self.queue.put_nowait(("event", event))
@@ -114,19 +125,39 @@ class TenantChecker:
     # -- worker thread ------------------------------------------------------
 
     def _run(self) -> None:
-        with use_tracer(self.tracer), use_metrics(self.registry):
-            while True:
-                kind, payload = self.queue.get()
-                if kind == "finish":
-                    try:
-                        self._finish(payload)
-                    finally:
-                        self._finished.set()
-                    return
-                self._handle_event(payload)
-                on_space = self.on_space
-                if on_space is not None:
-                    on_space()
+        try:
+            with use_tracer(self.tracer), use_metrics(self.registry):
+                while True:
+                    kind, payload = self.queue.get()
+                    if kind == "finish":
+                        try:
+                            self._finish(payload)
+                        finally:
+                            self._finished.set()
+                        return
+                    self._handle_event(payload)
+                    on_space = self.on_space
+                    if on_space is not None:
+                        on_space()
+        except BaseException as exc:  # noqa: BLE001 - crash backstop
+            # The worker must never die silently: latch an error
+            # verdict, mark the tenant finished (so offer() rejects and
+            # drain() cannot block forever), and answer any finish
+            # sentinel already in the queue.
+            self._crash(exc)
+            raise
+
+    def _crash(self, exc: BaseException) -> None:
+        self.latest = self._error_result(f"tenant worker crashed: {exc!r}")
+        self.final_payload = self._fallback_payload()
+        self._finished.set()
+        while True:
+            try:
+                kind, payload = self.queue.get_nowait()
+            except queue.Empty:
+                return
+            if kind == "finish":
+                payload.put(self.final_payload)
 
     def _handle_event(self, event: tuple) -> None:
         session, ops, status = event[0], event[1], event[2]
@@ -144,10 +175,14 @@ class TenantChecker:
                 self.retention_truncated = True
         try:
             self.latest = self._checker.add(session, ops, status=status)
-        except ValueError as exc:
-            # Undeclared session under a window, duplicate values, ...:
-            # latch an error verdict instead of killing the worker.
-            self.latest = self._error_result(str(exc))
+        except Exception as exc:  # noqa: BLE001 - keep the worker alive
+            # Undeclared session under a window, duplicate values, an
+            # unhashable key the codec missed, ...: latch an error
+            # verdict instead of killing the worker (a dead worker
+            # acknowledges events without checking them).
+            if self._ingest_error is None:
+                self._ingest_error = str(exc)
+            self.latest = self._error_result(self._ingest_error)
         self.registry.gauge("tenant.events").set(self.events_seen)
 
     def _error_result(self, detail: str):
@@ -161,13 +196,20 @@ class TenantChecker:
         return out
 
     def _finish(self, reply: "queue.Queue") -> None:
-        result = self._checker.finish()
-        self.latest = result
-        payload = self._payload_for(result, final=True)
-        if (not result.satisfies_si and self.config.explain_on_drain
-                and self._retained is not None
-                and result.decided_by != "ingest-error"):
-            payload.update(self._recheck_classification())
+        try:
+            if self._ingest_error is not None:
+                result = self._error_result(self._ingest_error)
+            else:
+                result = self._checker.finish()
+            self.latest = result
+            payload = self._payload_for(result, final=True)
+            if (not result.satisfies_si and self.config.explain_on_drain
+                    and self._retained is not None
+                    and result.decided_by != "ingest-error"):
+                payload.update(self._recheck_classification())
+        except Exception as exc:  # noqa: BLE001 - reply must always land
+            self.latest = self._error_result(f"finish failed: {exc}")
+            payload = self._fallback_payload()
         self.final_payload = payload
         reply.put(payload)
 
@@ -192,12 +234,41 @@ class TenantChecker:
 
     def drain(self, timeout: Optional[float] = None) -> dict:
         """Flush the queue, finish the checker, return the final verdict
-        payload.  Blocking — call from a worker/executor thread."""
+        payload.  Blocking — call from a worker/executor thread.
+
+        ``draining`` flips *before* the finish sentinel is enqueued, so
+        no producer can slip an event behind the sentinel (it would be
+        acknowledged but never checked).  The wait polls ``_finished``
+        so a crashed worker yields an error verdict instead of a hang.
+        """
         if self.final_payload is not None:
             return self.final_payload
+        self.draining = True
         reply: "queue.Queue" = queue.Queue()
         self.queue.put(("finish", reply))
-        payload = reply.get(timeout=timeout)
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            try:
+                payload = reply.get(timeout=0.05)
+                break
+            except queue.Empty:
+                if self._finished.is_set():
+                    # The worker exited without answering *this*
+                    # sentinel — it crashed, or a concurrent drain's
+                    # sentinel won.  One last non-blocking check closes
+                    # the answered-just-after-timeout race, then fall
+                    # back to the latched verdict.
+                    try:
+                        payload = reply.get_nowait()
+                    except queue.Empty:
+                        payload = self.final_payload
+                        if payload is None:
+                            payload = self._fallback_payload()
+                            self.final_payload = payload
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
         self._thread.join(timeout=timeout)
         return payload
 
@@ -206,6 +277,19 @@ class TenantChecker:
         return self._finished.is_set()
 
     # -- verdict surface ----------------------------------------------------
+
+    def _fallback_payload(self) -> dict:
+        """A final payload that cannot itself raise (crash paths)."""
+        try:
+            return self._payload_for(self.latest, final=True)
+        except Exception as exc:  # noqa: BLE001 - last resort
+            return {
+                "tenant": self.name,
+                "final": True,
+                "events": self.events_seen,
+                "rejected": self.events_rejected,
+                "error": f"verdict adaptation failed: {exc}",
+            }
 
     def verdict_payload(self) -> dict:
         """The tenant's current verdict as a JSON-shaped dict (final if
@@ -284,14 +368,22 @@ class SessionRouter:
         with self._lock:
             tenant = self._tenants.get(name)
             if tenant is not None:
-                if (sessions is not None and tenant.sessions is not None
-                        and not set(sessions) <= tenant.sessions):
-                    raise TenantError(
-                        f"tenant {name!r} already declared sessions "
-                        f"{sorted(tenant.sessions)}; cannot widen them "
-                        "mid-stream (eviction decisions assumed the "
-                        "original universe)"
-                    )
+                if sessions is not None:
+                    if tenant.sessions is None:
+                        raise TenantError(
+                            f"tenant {name!r} already exists unwindowed "
+                            "(created without a session universe); "
+                            "declaring sessions now cannot retroactively "
+                            "bound its memory — drain it first, or "
+                            "declare sessions on first contact"
+                        )
+                    if not set(sessions) <= tenant.sessions:
+                        raise TenantError(
+                            f"tenant {name!r} already declared sessions "
+                            f"{sorted(tenant.sessions)}; cannot widen "
+                            "them mid-stream (eviction decisions assumed "
+                            "the original universe)"
+                        )
                 return tenant
             window = None
             if sessions is not None:
@@ -326,8 +418,14 @@ class SessionRouter:
     def drain_all(self, timeout: Optional[float] = None) -> Dict[str, dict]:
         """Drain every tenant (flush queues, finish checkers); returns
         final verdict payloads by tenant.  Blocking."""
+        tenants = self.tenants()
+        # Flip every tenant's draining flag before flushing any of them,
+        # so no producer can sneak an event into tenant B's queue while
+        # tenant A is still flushing.
+        for tenant in tenants:
+            tenant.draining = True
         verdicts = {}
-        for tenant in self.tenants():
+        for tenant in tenants:
             verdicts[tenant.name] = tenant.drain(timeout=timeout)
         with self._lock:
             self._rebalance_locked()

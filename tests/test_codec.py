@@ -297,6 +297,18 @@ class TestEventCodec:
          '"ts": [1.0]}', "ts must be"),
         ('not json', "malformed event line"),
         ('[1, 2]', "JSON object"),
+        # Unhashable keys/values (JSON arrays/objects) must die at the
+        # codec, not later inside a checker's key/value maps.
+        ('{"session": 0, "status": "committed", "ops": [["w", ["x"], 1]]}',
+         "JSON scalar"),
+        ('{"session": 0, "status": "committed", '
+         '"ops": [["w", "x", {"v": 1}]]}', "JSON scalar"),
+        ('{"session": 0, "status": "committed", "ops": [[1, "x", 1]]}',
+         "kind must be a string"),
+        ('{"session": 0, "status": "committed", "ops": [["q", "x", 1]]}',
+         "unknown operation kind"),
+        ('{"session": 0, "status": "committed", "ops": [["w","x",1]], '
+         '"ts": ["a", 2.0]}', "numbers or null"),
     ])
     def test_malformed_event_lines_rejected(self, line, needle):
         from repro.histories.codec import event_from_json

@@ -351,10 +351,121 @@ class TestConfigValidation:
         {"solve_every": 0},
         {"credit_cap": 0},
         {"retain_events": -1},
+        {"max_line_bytes": 100},
     ])
     def test_bad_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ServiceConfig(**kwargs)
+
+
+class TestHardening:
+    """Regressions for the malformed-input / drain-race review findings:
+    nothing a client sends may kill a tenant worker, wedge drain, or
+    slip an acknowledged-but-unchecked event behind a drain."""
+
+    def test_unhashable_op_key_is_a_protocol_error_not_a_wedge(self, service):
+        """A JSON-array op key used to raise TypeError inside the worker
+        (killing it, deadlocking drain); now the codec rejects the line
+        and the daemon keeps serving."""
+        _, handle, client = service()
+        status, data = client._request_json(
+            "POST", "/ingest/t",
+            b'{"session": 0, "status": "committed", '
+            b'"ops": [["w", ["k"], 1]]}\n')
+        assert status == 400
+        assert "JSON scalar" in data["error"]
+        client.push_events("t", [(0, (W("x", 1),), "committed")], sessions=2)
+        verdicts = handle.drain()  # must not hang
+        assert verdicts["t"]["final"] is True
+        assert verdicts["t"]["events"] == 1
+
+    def test_worker_crash_latches_error_instead_of_hanging_drain(self,
+                                                                 service):
+        """If the checker ever raises something other than ValueError,
+        the worker latches an error verdict and drain still returns."""
+        import time
+
+        svc, handle, client = service()
+        client.push_events("t", [(0, (W("x", 1),), "committed")], sessions=2)
+        tenant = svc.router.get("t")
+
+        def boom(*args, **kwargs):
+            raise TypeError("unhashable type: 'list'")
+
+        tenant._checker.add = boom
+        client.push_events("t", [(1, (W("y", 1),), "committed")])
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            if client.verdict("t")["report"]["decided_by"] == "ingest-error":
+                break
+            time.sleep(0.02)
+        assert client.verdict("t")["report"]["decided_by"] == "ingest-error"
+        verdicts = handle.drain()  # must not hang on the poisoned tenant
+        assert verdicts["t"]["report"]["verdict"] == "violated"
+
+    def test_offer_after_drain_flag_raises(self, service):
+        """The drain flag flips before the finish sentinel is enqueued,
+        so no event can be acknowledged and then skipped (S13)."""
+        svc, _, _ = service()
+        tenant = svc.router.get_or_create("t", range(2))
+        tenant.draining = True
+        with pytest.raises(TenantError, match="drained"):
+            tenant.offer((0, (W("x", 1),), "committed"))
+
+    def test_oversized_http_line_is_a_400(self, service):
+        _, _, client = service(max_line_bytes=2048)
+        status, data = client._request_json(
+            "GET", "/healthz?pad=" + "x" * 8192)
+        assert status == 400
+        assert "too long" in data["error"]
+
+    def test_oversized_tcp_line_is_a_protocol_error(self, service):
+        import json
+        import socket
+
+        svc, _, _ = service(max_line_bytes=2048)
+        with socket.create_connection(("127.0.0.1", svc.tcp_port),
+                                      timeout=10) as sock:
+            sock.sendall(b"x" * 8192 + b"\n")
+            reply = json.loads(sock.makefile("rb").readline())
+        assert reply["ok"] is False
+        assert "exceeds" in reply["error"]
+
+    def test_tcp_end_reply_rejected_is_per_connection(self, service):
+        """A collector's end reply must not leak other producers'
+        backpressure: tenant-wide rejects stay out of it."""
+        import json
+        import socket
+
+        svc, _, client = service(queue_depth=2)
+        run = collect_run(seed=2)
+        stats = client.push_events("shared", run.iter_events(),
+                                   sessions=SMALL.sessions, batch=16)
+        assert stats.rejected_retries > 0  # tenant-wide counter is hot
+        with socket.create_connection(("127.0.0.1", svc.tcp_port),
+                                      timeout=10) as sock:
+            rfile = sock.makefile("rb")
+            sock.sendall(b'{"hello": "repro-events/1", '
+                         b'"tenant": "shared"}\n')
+            assert json.loads(rfile.readline())["ok"] is True
+            sock.sendall(b'{"op": "end"}\n')
+            reply = json.loads(rfile.readline())
+        assert reply == {"ok": True, "accepted": 0, "rejected": 0}
+
+    def test_sessions_for_existing_unwindowed_tenant_is_an_error(self,
+                                                                 service):
+        """Windowing cannot be bolted on after events were absorbed
+        unwindowed — the declaration must error, not silently no-op."""
+        svc, _, client = service()
+        client.push_events("t", [(0, (W("x", 1),), "committed")])
+        with pytest.raises(TenantError, match="unwindowed"):
+            svc.router.get_or_create("t", range(2))
+        status, data = client._request_json(
+            "POST", "/ingest/t?sessions=2",
+            b'{"session": 0, "status": "committed", '
+            b'"ops": [["w", "x", 2]]}\n')
+        assert status == 400
+        assert "unwindowed" in data["error"]
 
 
 def test_retention_truncation_is_flagged(service):
