@@ -71,9 +71,31 @@ def _run_polysi(subject, isolation: str, mode: str, options: CheckOptions):
         _expect(subject, "history", engine="polysi", mode=mode)
         return PolySIChecker(**pipeline).check(subject)
     if mode == "online":
-        _expect(subject, "history", engine="polysi", mode=mode)
         window = (WindowPolicy(max_live=options.max_live)
                   if options.max_live else None)
+        if options.state_dir is not None:
+            from ..histories.codec import history_to_events
+            from ..store.resume import run_persistent_check
+
+            # With a state dir the subject may be omitted entirely:
+            # the store's own journaled log is the history, streamed
+            # segment by segment (larger-than-memory checking).
+            events = None
+            if subject is not None:
+                _expect(subject, "history", engine="polysi", mode=mode)
+                events = history_to_events(subject)
+            return run_persistent_check(
+                options.state_dir, events,
+                resume=options.resume,
+                checkpoint_every=options.checkpoint_every,
+                prune=options.prune,
+                solve_every=options.solve_every,
+                window=window,
+                sessions=options.sessions,
+                initial_values=options.initial_values,
+                closure_backend=options.closure_backend,
+            )
+        _expect(subject, "history", engine="polysi", mode=mode)
         checker = OnlineChecker(
             prune=options.prune,
             solve_every=options.solve_every,
@@ -182,7 +204,8 @@ def register_builtin_engines() -> None:
             "prune", "compact", "closure", "closure_backend",
             "check_axioms_first", "initial_values", "workers", "strategy",
             "oversubscribe", "early_cancel", "max_shards", "solve_every",
-            "max_live", "sessions",
+            "max_live", "sessions", "state_dir", "resume",
+            "checkpoint_every",
         }),
         runner=_run_polysi,
         inputs={("si", "segmented"): "segmented_run",
@@ -195,7 +218,8 @@ def register_builtin_engines() -> None:
             ("si", "batch"): frozenset(_PIPELINE_OPTIONS),
             ("si", "online"): frozenset({
                 "prune", "solve_every", "max_live", "sessions",
-                "initial_values", "closure_backend",
+                "initial_values", "closure_backend", "state_dir",
+                "resume", "checkpoint_every",
             }),
             ("si", "parallel"): frozenset({
                 "prune", "compact", "closure", "closure_backend",

@@ -35,6 +35,9 @@ MODE_OPTIONS: Dict[str, frozenset] = {
     "solve_every": frozenset({"online"}),
     "max_live": frozenset({"online"}),
     "sessions": frozenset({"online"}),
+    "state_dir": frozenset({"online"}),
+    "resume": frozenset({"online"}),
+    "checkpoint_every": frozenset({"online"}),
 }
 
 #: One-line help per option, surfaced by ``repro engines`` and by the
@@ -55,6 +58,12 @@ OPTION_DOCS: Dict[str, str] = {
     "solve_every": "online mode: solve the SAT residue every N txns",
     "max_live": "online mode: bound live transactions (windowed eviction)",
     "sessions": "online mode: session universe (required for windowing)",
+    "state_dir": ("online mode: segment-store directory — journal events "
+                  "and checkpoint checker state there (docs/persistence.md)"),
+    "resume": ("online mode: restore the newest checkpoint in state_dir "
+               "and replay only the log tail (default True)"),
+    "checkpoint_every": ("online mode: checkpoint every N journaled "
+                         "events (0 disables periodic checkpoints)"),
     "gpu": "Cobra: use the dense-matrix closure kernel (the GPU stand-in)",
     "max_states": "dbcop: frontier-search state budget",
     "max_orders": "naive SI oracle: version-order enumeration budget",
@@ -93,6 +102,11 @@ class CheckOptions:
     max_live: int = 0
     sessions: Optional[Iterable[int]] = None
 
+    # Online persistence (the segment store; see docs/persistence.md).
+    state_dir: Optional[str] = None
+    resume: bool = True
+    checkpoint_every: int = 256
+
     # Baseline engines.
     gpu: bool = False
     max_states: int = 2_000_000
@@ -119,6 +133,8 @@ class CheckOptions:
             raise ValueError("workers must be >= 1")
         if self.max_live < 0:
             raise ValueError("max_live must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
 
     @classmethod
     def field_names(cls) -> frozenset:

@@ -39,6 +39,8 @@ import math
 import os
 from typing import Dict, List, Optional, Sequence
 
+from ..store.atomic import atomic_write_json
+
 __all__ = ["SCHEMA", "BenchReport", "validate_payload", "load_report"]
 
 SCHEMA = "repro-bench/1"
@@ -147,15 +149,18 @@ class BenchReport:
         }
 
     def write(self, directory: Optional[str] = None) -> str:
-        """Validate and write ``BENCH_<name>.json``; returns the path."""
+        """Validate and write ``BENCH_<name>.json``; returns the path.
+
+        The write is atomic (tmp + fsync + ``os.replace``): a crash or
+        serialization failure mid-write leaves any previous report for
+        this benchmark intact instead of a truncated JSON file.
+        """
         payload = self.payload()
         validate_payload(payload)
         directory = directory or os.environ.get("REPRO_BENCH_OUT") or "."
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"BENCH_{self.name}.json")
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(path, payload, indent=2, sort_keys=True)
         return path
 
 

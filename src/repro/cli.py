@@ -99,6 +99,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonneg_int(text: str) -> int:
+    """argparse type for checkpoint cadences: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (got {value})")
+    return value
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sessions", type=int, default=6)
     parser.add_argument("--txns", type=int, default=10,
@@ -207,10 +218,56 @@ def _write_trace(report, path: str) -> None:
     print(f"trace written to {path}")
 
 
+def _print_persistence_line(stats: dict) -> None:
+    """One status line for persistent (``--state-dir``) runs."""
+    persistence = stats.get("persistence")
+    if not persistence:
+        return
+    print(
+        f"state dir {persistence['state_dir']}: "
+        f"{persistence['journaled_events']} event(s) journaled in "
+        f"{persistence['segments']} segment(s); resumed from "
+        f"{persistence['resumed_from']}, replayed "
+        f"{persistence['replayed']}, wrote "
+        f"{persistence['checkpoints_written']} checkpoint(s)"
+    )
+
+
 def cmd_check(args) -> int:
     """``repro check``: façade verdict + timings; optional
-    interpretation."""
+    interpretation.
+
+    ``HISTORY`` may also be a segment-store state directory (one written
+    by ``watch --state-dir`` or ``serve --state-dir``): the journaled
+    log itself is then the history, checked online — restoring the
+    newest checkpoint and replaying only the tail (docs/persistence.md).
+    """
+    import os
+
+    from .store import is_store_dir
+
     _resolve_check_mode(args)
+    store_input = is_store_dir(args.history)
+    if store_input:
+        if args.mode == "parallel":
+            raise CLIError(
+                "a state directory is replayed through the online "
+                "checker; drop --mode parallel"
+            )
+        if args.isolation != "si":
+            raise CLIError(
+                "state-directory checking is SI-only (--isolation si)"
+            )
+        if args.state_dir and (os.path.abspath(args.state_dir)
+                               != os.path.abspath(args.history)):
+            raise CLIError(
+                "HISTORY is already a state directory; --state-dir "
+                "names a different one"
+            )
+        args.mode = "online"
+        args.state_dir = args.history
+    if args.state_dir and args.mode != "online":
+        raise CLIError("--state-dir applies to --mode online")
     if (args.explain or args.dot) and args.mode == "online":
         raise CLIError(
             "--explain/--dot require an evidence-carrying mode; re-run "
@@ -223,17 +280,28 @@ def cmd_check(args) -> int:
         options["closure_backend"] = args.closure_backend
     if args.mode == "online":
         options["solve_every"] = args.solve_every
+        if args.state_dir:
+            options["state_dir"] = args.state_dir
+            options["resume"] = not args.no_resume
+            if args.checkpoint_every is not None:
+                options["checkpoint_every"] = args.checkpoint_every
     elif args.solve_every != 1:
         # Pre-2.0 behavior: the flag was silently ignored outside the
         # online pipeline; keep old scripts working but say so.
         print("note: --solve-every applies to --mode online; ignored",
               file=sys.stderr)
+    if args.checkpoint_every is not None and not args.state_dir:
+        print("note: --checkpoint-every applies with --state-dir; ignored",
+              file=sys.stderr)
     checker = Checker(args.isolation, args.mode, args.engine, **options)
-    history = load_history(args.history, fmt=args.format)
+    history = (None if store_input
+               else load_history(args.history, fmt=args.format))
     report = checker.check(history)
     if args.trace:
         _write_trace(report, args.trace)
-    return _render_report(report, explain=args.explain, dot=args.dot)
+    code = _render_report(report, explain=args.explain, dot=args.dot)
+    _print_persistence_line(report.stats)
+    return code
 
 
 def cmd_engines(args) -> int:
@@ -282,6 +350,13 @@ def cmd_watch(args) -> int:
     ``--trace`` the whole stream is span-traced and written as a Chrome
     trace; ``--stats-interval S`` prints a one-line metrics snapshot
     every S seconds.
+
+    With ``--state-dir`` every event is journaled to a segment store
+    before it is checked and the checker state is checkpointed every
+    ``--checkpoint-every`` events; re-running with the *same workload
+    flags and seed* resumes from the newest checkpoint, regenerating
+    the deterministic stream and skipping the already-journaled prefix
+    (docs/persistence.md).
     """
     spec = generate_workload(_params(args), seed=args.seed)
     faults = DATABASE_PROFILES[args.profile]["faults"] if args.profile else None
@@ -289,12 +364,6 @@ def cmd_watch(args) -> int:
     window = None
     if args.max_live:
         window = WindowPolicy(max_live=args.max_live)
-    checker = OnlineChecker(
-        solve_every=args.solve_every,
-        window=window,
-        sessions=range(args.sessions) if window else None,
-        closure_backend=args.closure_backend,
-    )
     tracer = Tracer() if args.trace else None
     registry = (MetricsRegistry()
                 if args.trace or args.stats_interval else None)
@@ -306,26 +375,69 @@ def cmd_watch(args) -> int:
             stack.enter_context(use_tracer(tracer))
         if registry is not None:
             stack.enter_context(use_metrics(registry))
-        for session, ops, status in stream_workload(db, spec, seed=args.seed):
-            result = checker.add(session, ops, status=status)
-            seen += 1
-            if not result.satisfies_si:
-                violated = True
-                break
-            if args.stats_interval and registry is not None:
-                now = time.monotonic()
-                if now - last_stats >= args.stats_interval:
-                    _emit_stats_line(registry, seen)
-                    last_stats = now
-            if args.report_every and seen % args.report_every == 0:
-                print(
-                    f"{seen} txns: SI so far; "
-                    f"live={checker.live_transactions} "
-                    f"unresolved={checker.unresolved_constraints} "
-                    f"({1000 * result.total_time / max(1, seen):.2f} ms/txn)"
-                )
+        persistent = None
+        skip = 0
+        if args.state_dir:
+            from .store import PersistentCheck
+
+            persistent = PersistentCheck(
+                args.state_dir,
+                resume=not args.no_resume,
+                checkpoint_every=args.checkpoint_every,
+                solve_every=args.solve_every,
+                window=window,
+                sessions=range(args.sessions) if window else None,
+                closure_backend=args.closure_backend,
+            )
+            stack.callback(persistent.close)
+            checker = persistent.checker
+            # The stream is seed-deterministic: regenerate it and skip
+            # the prefix the store already holds (those events were
+            # re-checked by checkpoint restore + tail replay).
+            skip = persistent.recovered_events
+            result = persistent.result()
+            violated = not result.satisfies_si
+            if skip:
+                print(f"resumed from {args.state_dir}: "
+                      f"{persistent.resumed_from} event(s) restored, "
+                      f"{persistent.replayed} replayed")
+        else:
+            checker = OnlineChecker(
+                solve_every=args.solve_every,
+                window=window,
+                sessions=range(args.sessions) if window else None,
+                closure_backend=args.closure_backend,
+            )
+            result = checker.result()
         if not violated:
-            result = checker.finish()
+            for session, ops, status in stream_workload(db, spec,
+                                                        seed=args.seed):
+                seen += 1
+                if seen <= skip:
+                    continue
+                if persistent is not None:
+                    result = persistent.feed(session, ops, status=status)
+                else:
+                    result = checker.add(session, ops, status=status)
+                if not result.satisfies_si:
+                    violated = True
+                    break
+                if args.stats_interval and registry is not None:
+                    now = time.monotonic()
+                    if now - last_stats >= args.stats_interval:
+                        _emit_stats_line(registry, seen)
+                        last_stats = now
+                if args.report_every and seen % args.report_every == 0:
+                    print(
+                        f"{seen} txns: SI so far; "
+                        f"live={checker.live_transactions} "
+                        f"unresolved={checker.unresolved_constraints} "
+                        f"({1000 * result.total_time / max(1, seen):.2f} "
+                        "ms/txn)"
+                    )
+        if not violated:
+            result = (persistent.finish() if persistent is not None
+                      else checker.finish())
     report = adapt_result(result, isolation="si", mode="online",
                           engine="polysi")
     if tracer is not None:
@@ -335,8 +447,10 @@ def cmd_watch(args) -> int:
         )
         _write_trace(report, args.trace)
     if violated:
-        print(f"violation after {seen} transaction(s):")
-        return _render_report(report)
+        print(f"violation after {max(seen, skip)} transaction(s):")
+        code = _render_report(report)
+        _print_persistence_line(result.stats)
+        return code
     code = _render_report(report)
     print(
         f"checked {result.stats['accepted']} committed transactions in "
@@ -344,6 +458,7 @@ def cmd_watch(args) -> int:
         f"({1000 * result.total_time / max(1, result.stats['accepted']):.2f} "
         "ms/txn amortized)"
     )
+    _print_persistence_line(result.stats)
     return code
 
 
@@ -431,6 +546,8 @@ def cmd_serve(args) -> int:
         retain_events=args.retain_events,
         closure_backend=args.closure_backend,
         max_line_bytes=args.max_line_bytes,
+        state_dir=args.state_dir,
+        checkpoint_every=args.checkpoint_every,
     )
     service = ReproService(config)
 
@@ -613,6 +730,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="OUT",
                    help="write the check's span trace as Chrome "
                         "trace_event JSON (open in Perfetto)")
+    p.add_argument("--state-dir", metavar="DIR",
+                   help="online mode: journal the history into this "
+                        "segment store and checkpoint the checker there "
+                        "(HISTORY may itself be a state directory: its "
+                        "journaled log is then the history)")
+    p.add_argument("--no-resume", action="store_true",
+                   help="ignore existing checkpoints in --state-dir and "
+                        "replay the whole journaled log")
+    p.add_argument("--checkpoint-every", type=_nonneg_int, default=None,
+                   metavar="N",
+                   help="checkpoint every N journaled events "
+                        "(0: only at finish; default 256)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -647,6 +776,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats-interval", type=float, default=0, metavar="S",
                    help="print a one-line metrics snapshot every S "
                         "seconds (0: off)")
+    p.add_argument("--state-dir", metavar="DIR",
+                   help="journal each event to this segment store before "
+                        "checking it; re-running with the same workload "
+                        "flags and --seed resumes from the newest "
+                        "checkpoint")
+    p.add_argument("--no-resume", action="store_true",
+                   help="ignore existing checkpoints in --state-dir and "
+                        "replay the whole journaled log")
+    p.add_argument("--checkpoint-every", type=_nonneg_int, default=256,
+                   metavar="N",
+                   help="checkpoint every N journaled events "
+                        "(0: only at finish; default 256)")
     p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(
@@ -719,6 +860,16 @@ def build_parser() -> argparse.ArgumentParser:
                    default=1_048_576,
                    help="longest accepted wire line (event / HTTP "
                         "header), in bytes")
+    p.add_argument("--state-dir", metavar="DIR",
+                   help="journal every accepted event per tenant under "
+                        "DIR/tenants/<name> and checkpoint tenant "
+                        "checkers there; on restart all tenants' "
+                        "verdicts are recovered before the listeners "
+                        "bind (docs/persistence.md)")
+    p.add_argument("--checkpoint-every", type=_nonneg_int, default=256,
+                   metavar="N",
+                   help="checkpoint each tenant every N consumed events "
+                        "(0: journal only; default 256)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("generate", help="generate and record a workload")

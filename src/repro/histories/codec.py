@@ -56,6 +56,7 @@ from ..core.history import (
     R,
     W,
 )
+from ..store.atomic import atomic_write_text
 
 __all__ = [
     "EVENTS_SCHEMA",
@@ -202,15 +203,20 @@ def history_from_text(text: str) -> History:
 
 
 def dump_history(history: History, path: str, *, fmt: str = "json") -> None:
-    """Write a history to ``path`` in the selected format."""
+    """Write a history to ``path`` in the selected format.
+
+    The write is atomic (tmp file + fsync + ``os.replace``): the whole
+    payload is serialized before any file is touched, so a value that
+    fails to encode or a process killed mid-write never leaves a
+    truncated history behind — the previous file, if any, survives.
+    """
     if fmt == "json":
         payload = history_to_json(history)
     elif fmt == "text":
         payload = history_to_text(history)
     else:
         raise ValueError(f"unknown history format: {fmt!r}")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(payload)
+    atomic_write_text(path, payload)
 
 
 def load_history(path: str, *, fmt: str = "json") -> History:

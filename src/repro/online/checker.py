@@ -136,6 +136,33 @@ def _cons_key(key, a: int, b: int) -> tuple:
     return (key, a, b) if a < b else (key, b, a)
 
 
+#: Version tag of the :meth:`OnlineChecker.snapshot` payload (embedded
+#: in ``repro-checkpoint/1`` checkpoint files; see docs/persistence.md).
+STATE_VERSION = 1
+
+
+def _enc_txn(txn: Optional[Transaction]):
+    if txn is None:
+        return None
+    record = [txn.tid, txn.session, txn.index, txn.status,
+              [[op.kind, op.key, op.value] for op in txn.ops]]
+    if txn.start_ts is not None or txn.commit_ts is not None:
+        record.append([txn.start_ts, txn.commit_ts])
+    return record
+
+
+def _dec_txn(record) -> Optional[Transaction]:
+    if record is None:
+        return None
+    tid, session, index, status, ops = record[:5]
+    ts = record[5] if len(record) > 5 else (None, None)
+    return Transaction(
+        tid, [Operation(kind, key, value) for kind, key, value in ops],
+        session=session, index=index, status=status,
+        start_ts=ts[0], commit_ts=ts[1],
+    )
+
+
 class OnlineChecker:
     """Incremental snapshot-isolation checking over a transaction stream.
 
@@ -328,6 +355,268 @@ class OnlineChecker:
     def unresolved_constraints(self) -> int:
         """Generalized constraints pruning has not yet resolved."""
         return len(self._unresolved)
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The checker's full state as a JSON-able dict.
+
+        Captures everything a sound resume needs (DESIGN.md S14): the
+        transaction tables and axiom indexes, the known typed edges,
+        the induced-graph closure rows (through the backend-independent
+        :meth:`~repro.utils.closure.ClosureBackend.int_rows`
+        serialization, so a numpy-written checkpoint restores under the
+        python backend and vice versa), the unresolved/resolved
+        constraints, the solver's clauses *including learned CDCL
+        clauses*, window metadata, and every counter that feeds
+        ``Report.stats``.
+
+        Keys, values, and session ids must be JSON scalars — true by
+        construction for any stream that arrived through the
+        ``repro-events/1`` codec (the store, the service daemon, and
+        ``watch`` all do).  Raises ``ValueError`` after a latched
+        violation: the verdict is final at that point, so there is no
+        state worth persisting — persist the verdict instead.
+        """
+        if self._violation is not None:
+            raise ValueError(
+                "cannot snapshot after a latched violation; the verdict "
+                "is final — record the verdict, not the checker state"
+            )
+        with trace_span("snapshot", accepted=self._accepted,
+                        live=self._live_count):
+            state = self._snapshot_state()
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter("online.snapshots").inc()
+        return state
+
+    def _snapshot_state(self) -> dict:
+        window = self.window
+        solver_state = None
+        if self._solver is not None:
+            solver_state = self._solver.export_state()
+            solver_state["dep_var"] = [
+                [u, v, var] for (u, v), var in self._dep_var.items()]
+            solver_state["rw_var"] = [
+                [u, v, var] for (u, v), var in self._rw_var.items()]
+            solver_state["choice_var"] = [
+                [key, t, s, var]
+                for (key, t, s), var in self._choice_var.items()]
+            solver_state["and_cache"] = [
+                [a, b, var] for (a, b), var in self._and_cache.items()]
+            solver_state["emitted_branch"] = [
+                [key, t, s,
+                 sorted(([tag, u, v, label, ekey]
+                         for tag, (u, v, label, ekey) in emitted), key=repr)]
+                for (key, t, s), emitted in self._emitted_branch.items()]
+            solver_state["emitted_terms"] = [
+                [u, v, sorted((list(term) for term in terms), key=repr)]
+                for (u, v), terms in self._emitted_terms.items()]
+        return {
+            "v": STATE_VERSION,
+            "config": {
+                "prune": self.prune,
+                "solve_every": self.solve_every,
+                "window": (
+                    [window.max_live, window.gc_every,
+                     window.compact_fraction]
+                    if window is not None else None
+                ),
+                "sessions": (sorted(self.sessions)
+                             if self.sessions is not None else None),
+                "initial_values": [
+                    [k, v] for k, v in self.initial_values.items()],
+                "closure_backend": self.closure_backend,
+            },
+            "n": self._n,
+            "txns": [_enc_txn(t) for t in self._txn_of],
+            "live": [bool(x) for x in self._live],
+            "pending_count": list(self._pending_count),
+            "reads_of": [[[w, key] for (w, key) in reads]
+                         for reads in self._reads_of],
+            "session_tail": [[s, v]
+                             for s, v in self._session_tail.items()],
+            "session_count": [[s, c]
+                              for s, c in self._session_count.items()],
+            "writer_index": [[key, value, v]
+                             for (key, value), v in
+                             self._writer_index.items()],
+            "aborted_writes": [[key, value, name, seq]
+                               for (key, value), (name, seq) in
+                               self._aborted_writes.items()],
+            "intermediate": [[key, value, name, seq]
+                             for (key, value), (name, seq) in
+                             self._intermediate.items()],
+            "pending": [[key, value, list(readers)]
+                        for (key, value), readers in self._pending.items()],
+            "writers_of": [[key, list(writers)]
+                           for key, writers in self._writers_of.items()],
+            "readers_from": [[w, key, list(readers)]
+                             for (w, key), readers in
+                             self._readers_from.items()],
+            "init_keys": sorted(self._init_keys, key=repr),
+            "known_edges": [[u, v, label, key]
+                            for (u, v, label, key) in self._known_edges],
+            "ki_rows": [format(row, "x") for row in self._ki.int_rows()],
+            "dep_rows": (
+                [format(row, "x") for row in self._dep_reach.int_rows()]
+                if self._dep_reach is not None else None
+            ),
+            "unresolved": [[key, t, s] for (key, t, s) in self._unresolved],
+            "resolved_dir": [[key, t, s, d]
+                             for (key, t, s), d in
+                             self._resolved_dir.items()],
+            "solver": solver_state,
+            "solver_dirty": self._solver_dirty,
+            "counters": {
+                "accepted": self._accepted,
+                "aborted_seen": self._aborted_seen,
+                "seq": self._seq,
+                "live_count": self._live_count,
+                "solves": self._solves,
+            },
+            "timings": dict(self._timings),
+            "window_stats": self._wstats.as_dict(),
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "OnlineChecker":
+        """Rebuild a checker from :meth:`snapshot` output.
+
+        The restored instance continues the stream exactly where the
+        snapshot left off: same verdict, same anomaly classification,
+        same known-edge count as the uninterrupted run (the resume-
+        equivalence suite in ``tests/test_resume.py`` pins this).
+
+        Derived structure is rebuilt the same way :meth:`_compact`
+        rebuilds it after a window compaction — from the persisted
+        known edges — and the closure comes back through ``from_rows``,
+        so direct-edge bookkeeping collapses onto the closure exactly
+        as it does post-compaction (the soundness argument of DESIGN.md
+        S14 builds on the S9 window argument for this reason).
+        """
+        version = state.get("v")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"unsupported checker snapshot version {version!r} "
+                f"(this build reads {STATE_VERSION})"
+            )
+        cfg = state["config"]
+        window = (WindowPolicy(cfg["window"][0], cfg["window"][1],
+                               cfg["window"][2])
+                  if cfg["window"] is not None else None)
+        checker = cls(
+            prune=cfg["prune"],
+            solve_every=cfg["solve_every"],
+            window=window,
+            sessions=cfg["sessions"],
+            initial_values={k: v for k, v in cfg["initial_values"]},
+            closure_backend=cfg["closure_backend"],
+        )
+        with trace_span("restore",
+                        accepted=state["counters"]["accepted"]):
+            checker._restore_state(state)
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter("online.restores").inc()
+        return checker
+
+    def _restore_state(self, state: dict) -> None:
+        self._n = state["n"]
+        self._txn_of = [_dec_txn(t) for t in state["txns"]]
+        self._live = [bool(x) for x in state["live"]]
+        self._pending_count = list(state["pending_count"])
+        self._reads_of = [[(w, key) for w, key in reads]
+                          for reads in state["reads_of"]]
+        self._session_tail = {s: v for s, v in state["session_tail"]}
+        self._session_count = {s: c for s, c in state["session_count"]}
+        self._writer_index = {(key, value): v
+                              for key, value, v in state["writer_index"]}
+        self._aborted_writes = {
+            (key, value): (name, seq)
+            for key, value, name, seq in state["aborted_writes"]}
+        self._intermediate = {
+            (key, value): (name, seq)
+            for key, value, name, seq in state["intermediate"]}
+        self._pending = {(key, value): list(readers)
+                         for key, value, readers in state["pending"]}
+        self._writers_of = {key: list(writers)
+                            for key, writers in state["writers_of"]}
+        self._readers_from = {(w, key): list(readers)
+                              for w, key, readers in state["readers_from"]}
+        self._init_keys = set(state["init_keys"])
+        self._known_edges = [(u, v, label, key)
+                             for u, v, label, key in state["known_edges"]]
+        self._known_set = set(self._known_edges)
+
+        backend_cls = resolve_closure_backend(self.closure_backend)
+        self._ki = backend_cls.from_rows(
+            [int(row, 16) for row in state["ki_rows"]])
+        self._dep_reach = (
+            backend_cls.from_rows(
+                [int(row, 16) for row in state["dep_rows"]])
+            if state["dep_rows"] is not None else None
+        )
+
+        # Derived adjacency, exactly as _compact rebuilds it.
+        self._dep_out = [set() for _ in range(self._n)]
+        self._dep_in = [set() for _ in range(self._n)]
+        self._antidep_out = [set() for _ in range(self._n)]
+        self._ww_succ = {}
+        for u, v, label, key in self._known_edges:
+            if label == RW:
+                self._antidep_out[u].add(v)
+            else:
+                self._dep_out[u].add(v)
+                self._dep_in[v].add(u)
+                if label == WW and u != 0:
+                    self._ww_succ.setdefault(u, {}).setdefault(
+                        key, set()).add(v)
+
+        self._unresolved = {(key, t, s): True
+                            for key, t, s in state["unresolved"]}
+        self._unresolved_touch = {}
+        for (_key, t, s) in self._unresolved:
+            self._unresolved_touch[t] = self._unresolved_touch.get(t, 0) + 1
+            self._unresolved_touch[s] = self._unresolved_touch.get(s, 0) + 1
+        self._resolved_dir = {(key, t, s): bool(d)
+                              for key, t, s, d in state["resolved_dir"]}
+
+        counters = state["counters"]
+        self._accepted = counters["accepted"]
+        self._aborted_seen = counters["aborted_seen"]
+        self._seq = counters["seq"]
+        self._live_count = counters["live_count"]
+        self._solves = counters["solves"]
+        self._timings = dict(state["timings"])
+        for name, value in state["window_stats"].items():
+            setattr(self._wstats, name, value)
+
+        self._reset_solver_state()
+        self._solver_dirty = bool(state["solver_dirty"])
+        solver_state = state["solver"]
+        if solver_state is not None:
+            static = [list(self._ki.successors_direct(u))
+                      for u in range(self._n)]
+            self._solver = AcyclicGraphSolver.import_state(
+                solver_state, self._n, static_adj=static)
+            self._dep_var = {(u, v): var
+                             for u, v, var in solver_state["dep_var"]}
+            self._rw_var = {(u, v): var
+                            for u, v, var in solver_state["rw_var"]}
+            self._choice_var = {
+                (key, t, s): var
+                for key, t, s, var in solver_state["choice_var"]}
+            self._and_cache = {(a, b): var
+                               for a, b, var in solver_state["and_cache"]}
+            self._emitted_branch = {
+                (key, t, s): {(tag, (u, v, label, ekey))
+                              for tag, u, v, label, ekey in emitted}
+                for key, t, s, emitted in solver_state["emitted_branch"]}
+            self._emitted_terms = {
+                (u, v): {tuple(term) for term in terms}
+                for u, v, terms in solver_state["emitted_terms"]}
 
     # -- ingestion -----------------------------------------------------------
 

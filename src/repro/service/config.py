@@ -64,6 +64,15 @@ class ServiceConfig:
     #: Extra per-tenant span-buffer bound (repro-trace/1 ``dropped``
     #: counts past it).
     max_spans: int = 100_000
+    #: Per-tenant persistence root: tenant ``<name>`` journals every
+    #: accepted event to a segment store at ``<state_dir>/tenants/
+    #: <name>`` *before* acknowledging it, and the daemon recovers all
+    #: tenants' verdicts from those stores at startup (None disables
+    #: persistence; see docs/persistence.md and DESIGN.md S14).
+    state_dir: Optional[str] = None
+    #: Checkpoint each persistent tenant's checker every N consumed
+    #: events (0: journal only — recovery then replays the whole log).
+    checkpoint_every: int = 256
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -80,3 +89,5 @@ class ServiceConfig:
             raise ValueError("retain_events must be >= 0")
         if self.max_line_bytes < 1024:
             raise ValueError("max_line_bytes must be >= 1024")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")

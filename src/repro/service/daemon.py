@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import threading
 from typing import Dict, Optional
 
@@ -83,9 +84,16 @@ class ReproService:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind both listeners; ports land on ``http_port``/``tcp_port``."""
+        """Bind both listeners; ports land on ``http_port``/``tcp_port``.
+
+        With ``config.state_dir`` set, every journaled tenant is
+        recovered *first* — checkpoint restored, log tail replayed — so
+        no listener accepts an event before all recovered verdicts are
+        queryable again."""
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
+        if self.config.state_dir:
+            self._recover_tenants()
         self._http_server = await asyncio.start_server(
             self._handle_http, self.config.host, self.config.http_port,
             limit=self.config.max_line_bytes,
@@ -180,6 +188,43 @@ class ReproService:
         return ServiceHandle(self, thread)
 
     # -- tenant plumbing -----------------------------------------------------
+
+    def _recover_tenants(self) -> None:
+        """Re-register every tenant journaled under ``state_dir``.
+
+        Each one's :class:`~repro.service.tenants.TenantChecker`
+        restores its newest checkpoint and replays the journal tail in
+        its constructor, so a SIGKILLed daemon restarted on the same
+        state directory answers ``/verdict/<tenant>`` for all of its
+        former tenants without losing a single accepted event
+        (DESIGN.md S14).  The declared session universe comes back from
+        the store's manifest meta, so windowed tenants recover windowed.
+        """
+        from ..store.segments import is_store_dir, store_meta
+        from .tenants import tenant_store_path
+
+        root = os.path.join(self.config.state_dir, "tenants")
+        try:
+            names = sorted(os.listdir(root))
+        except OSError:
+            return
+        recovered = 0
+        for name in names:
+            path = tenant_store_path(self.config.state_dir, name)
+            if not is_store_dir(path):
+                continue
+            sessions = store_meta(path).get("sessions")
+            if not (isinstance(sessions, list) and all(
+                    isinstance(s, int) and not isinstance(s, bool)
+                    for s in sessions)):
+                sessions = None
+            try:
+                self.router.get_or_create(name, sessions)
+            except TenantError:
+                continue
+            recovered += 1
+        if recovered:
+            self.metrics.counter("service.tenants_recovered").inc(recovered)
 
     def _resolve_tenant(self, name: str, sessions=None):
         tenant = self.router.get_or_create(name, sessions)

@@ -27,6 +27,7 @@ fixed per-checker count.
 from __future__ import annotations
 
 import json
+import os
 import queue
 import re
 import threading
@@ -37,15 +38,23 @@ from ..api import adapt_result
 from ..histories.codec import history_from_events
 from ..obs import MetricsRegistry, Tracer, use_metrics, use_tracer
 from ..online import OnlineChecker, WindowPolicy
+from ..store.segments import SegmentStore
 from .config import ServiceConfig
 
-__all__ = ["TenantChecker", "SessionRouter", "TenantError"]
+__all__ = ["TenantChecker", "SessionRouter", "TenantError",
+           "tenant_store_path"]
 
 _TENANT_NAME = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 class TenantError(ValueError):
     """A tenant-level protocol error (bad name, undeclared session)."""
+
+
+def tenant_store_path(state_dir: str, name: str) -> str:
+    """The segment-store directory of tenant ``name`` under a service
+    ``state_dir`` (``<state_dir>/tenants/<name>``)."""
+    return os.path.join(state_dir, "tenants", name)
 
 
 class TenantChecker:
@@ -61,30 +70,62 @@ class TenantChecker:
         self.queue: "queue.Queue" = queue.Queue(maxsize=config.queue_depth)
         self.tracer = Tracer(max_spans=config.max_spans)
         self.registry = MetricsRegistry()
-        self._checker = OnlineChecker(
-            solve_every=config.solve_every,
-            window=window,
-            sessions=self.sessions if window is not None else None,
-            closure_backend=config.closure_backend,
-        )
+        #: Per-tenant segment store (``config.state_dir`` set): every
+        #: accepted event is journaled there before it is acknowledged,
+        #: and the checker is checkpointed every
+        #: ``config.checkpoint_every`` consumed events (DESIGN.md S14).
+        self.store: Optional[SegmentStore] = None
+        self.checkpoints_written = 0
+        self.recovered_events = 0
+        self._restored_at = 0
+        self._journal_error: Optional[str] = None
+        self._offer_lock = threading.Lock()
+        checkpoint = None
+        if config.state_dir:
+            self.store = SegmentStore.open_or_create(
+                tenant_store_path(config.state_dir, name),
+                meta={"tenant": name,
+                      "sessions": (sorted(self.sessions)
+                                   if self.sessions is not None else None)},
+            )
+            checkpoint = self.store.latest_checkpoint_payload()
+        extra = {}
+        if checkpoint is not None:
+            self._checker = OnlineChecker.restore(checkpoint["checker"])
+            self._restored_at = checkpoint["events"]
+            extra = checkpoint.get("extra") or {}
+            # The router re-targets ``self.window`` in place when the
+            # global budget is re-divided; the restored checker rebuilt
+            # its own policy object, so adopt that one.
+            self.window = self._checker.window
+        else:
+            self._checker = OnlineChecker(
+                solve_every=config.solve_every,
+                window=window,
+                sessions=self.sessions if window is not None else None,
+                closure_backend=config.closure_backend,
+            )
         #: Latest verdict snapshot, replaced (never mutated) by the
         #: worker after each event — HTTP readers take the reference
         #: without locking.
         self.latest = self._checker.result()
         self.final_payload: Optional[dict] = None
-        self.events_seen = 0
+        self.events_seen = self._restored_at
         self.events_rejected = 0
-        self.committed_seen = 0
-        self.stamped_seen = 0
+        self.committed_seen = int(extra.get("committed_seen", 0))
+        self.stamped_seen = int(extra.get("stamped_seen", 0))
         self._retained: Optional[List[tuple]] = (
-            [] if config.retain_events > 0 else None
+            [] if config.retain_events > 0 and self._restored_at == 0
+            else None
         )
         #: First ingest failure, latched: an event that was acknowledged
         #: but not absorbed poisons the stream, so the *final* verdict
         #: must stay the error — ``_checker.finish()`` alone would
         #: happily report on the partial stream it did absorb.
         self._ingest_error: Optional[str] = None
-        self.retention_truncated = config.retain_events == 0
+        # Resuming past a checkpoint skips the log prefix, so retention
+        # (best-effort explanation state) restarts truncated.
+        self.retention_truncated = self._retained is None
         #: Called (from the worker thread) after every dequeue, so the
         #: event loop can wake TCP producers stalled on a full queue.
         self.on_space: Optional[Callable[[], None]] = None
@@ -94,10 +135,27 @@ class TenantChecker:
         #: never checked.
         self.draining = False
         self._finished = threading.Event()
+        if self.store is not None:
+            self._recover()
         self._thread = threading.Thread(
             target=self._run, name=f"tenant-{name}", daemon=True
         )
         self._thread.start()
+
+    def _recover(self) -> None:
+        """Replay the journaled log past the restored checkpoint —
+        through the same per-event path live ingestion uses, so the
+        counters and retention state match an uninterrupted run.  Runs
+        on the constructing thread, *before* the worker starts: by the
+        time the tenant is reachable its recovered verdict is already
+        queryable."""
+        with use_tracer(self.tracer), use_metrics(self.registry):
+            for _pos, event in self.store.iter_events(self._restored_at):
+                self._handle_event(event)
+        self.recovered_events = self.events_seen
+        if self.recovered_events:
+            self.registry.gauge("tenant.recovered").set(
+                self.recovered_events)
 
     # -- ingestion side (event loop / HTTP handler threads) -----------------
 
@@ -107,9 +165,39 @@ class TenantChecker:
         A rejected event is *counted* and reported to the producer — it
         is the producer's to resend, so nothing is silently lost (see
         DESIGN.md S13).
+
+        With a store attached, the event is journaled (appended +
+        flushed — SIGKILL-durable) before this returns ``True``: the
+        producer is never told "accepted" about an event a crash could
+        lose.  The offer lock pins journal order to queue order, so
+        recovery replays exactly the sequence the worker checked
+        (DESIGN.md S14).
         """
         if self.draining or self._finished.is_set():
             raise TenantError(f"tenant {self.name!r} is drained")
+        if self._journal_error is not None:
+            raise TenantError(
+                f"tenant {self.name!r} journal failed: {self._journal_error}"
+            )
+        if self.store is None:
+            return self._enqueue(event)
+        with self._offer_lock:
+            if not self._enqueue(event):
+                return False
+            try:
+                self.store.append_event(event)
+            except Exception as exc:  # noqa: BLE001 - poison, don't lie
+                # The event is queued (it will be checked) but not
+                # durable; latch the failure so the final verdict is an
+                # error instead of a resumable-looking journal that
+                # silently lost the tail.
+                self._journal_error = str(exc)
+                raise TenantError(
+                    f"tenant {self.name!r} journal failed: {exc}"
+                )
+        return True
+
+    def _enqueue(self, event: tuple) -> bool:
         try:
             self.queue.put_nowait(("event", event))
         except queue.Full:
@@ -150,6 +238,7 @@ class TenantChecker:
     def _crash(self, exc: BaseException) -> None:
         self.latest = self._error_result(f"tenant worker crashed: {exc!r}")
         self.final_payload = self._fallback_payload()
+        self._close_store()
         self._finished.set()
         while True:
             try:
@@ -184,6 +273,45 @@ class TenantChecker:
                 self._ingest_error = str(exc)
             self.latest = self._error_result(self._ingest_error)
         self.registry.gauge("tenant.events").set(self.events_seen)
+        self._maybe_checkpoint()
+
+    # -- checkpointing (worker thread) ---------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        if (self.store is None or not self.config.checkpoint_every
+                or self.events_seen % self.config.checkpoint_every):
+            return
+        self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
+        """Snapshot the checker at the current consume position.
+
+        ``events_seen`` equals the event's journal position + 1 (journal
+        order is pinned to queue order by the offer lock), so the
+        checkpoint is keyed exactly as the store expects: state after
+        the first N log events.  Best-effort — a failed checkpoint only
+        means recovery replays more of the journal.
+        """
+        if (not self.latest.satisfies_si or self._ingest_error is not None
+                or self._journal_error is not None):
+            return
+        try:
+            state = self._checker.snapshot()
+            self.store.save_checkpoint(self.events_seen, state, extra={
+                "committed_seen": self.committed_seen,
+                "stamped_seen": self.stamped_seen,
+            })
+            self.checkpoints_written += 1
+            self.registry.counter("tenant.checkpoints").inc()
+        except Exception:  # noqa: BLE001 - the journal stays the record
+            self.registry.counter("tenant.checkpoint_errors").inc()
+
+    def _close_store(self) -> None:
+        if self.store is not None:
+            try:
+                self.store.close()
+            except Exception:  # noqa: BLE001 - nothing left to protect
+                pass
 
     def _error_result(self, detail: str):
         from ..online.checker import OnlineResult
@@ -197,11 +325,18 @@ class TenantChecker:
 
     def _finish(self, reply: "queue.Queue") -> None:
         try:
-            if self._ingest_error is not None:
+            if self._journal_error is not None:
+                result = self._error_result(
+                    f"journal failed: {self._journal_error}")
+            elif self._ingest_error is not None:
                 result = self._error_result(self._ingest_error)
             else:
                 result = self._checker.finish()
             self.latest = result
+            if result.satisfies_si:
+                # Final checkpoint: a restart after a clean drain
+                # recovers the verdict without replaying anything.
+                self._write_checkpoint()
             payload = self._payload_for(result, final=True)
             if (not result.satisfies_si and self.config.explain_on_drain
                     and self._retained is not None
@@ -212,6 +347,7 @@ class TenantChecker:
             payload = self._fallback_payload()
         self.final_payload = payload
         reply.put(payload)
+        self._close_store()
 
     def _recheck_classification(self) -> dict:
         """Batch re-check of the retained event log, for an anomaly
@@ -314,6 +450,14 @@ class TenantChecker:
             "retention_truncated": self.retention_truncated,
             "report": body,
         }
+        if self.store is not None:
+            payload["persistence"] = {
+                "state_dir": self.store.path,
+                "journaled_events": self.store.total_events,
+                "recovered_events": self.recovered_events,
+                "resumed_from": self._restored_at,
+                "checkpoints_written": self.checkpoints_written,
+            }
         if not report.ok:
             example = report.counterexample
             if example is not None:
@@ -323,7 +467,7 @@ class TenantChecker:
     def snapshot(self) -> dict:
         """Live stats block for ``/stats`` (no verdict adaptation)."""
         stats = dict(self.latest.stats)
-        return {
+        out = {
             "tenant": self.name,
             "events": self.events_seen,
             "rejected": self.events_rejected,
@@ -335,6 +479,11 @@ class TenantChecker:
             "window": stats.get("window", {}),
             "satisfies_si": self.latest.satisfies_si,
         }
+        if self.store is not None:
+            out["journaled_events"] = self.store.total_events
+            out["checkpoints_written"] = self.checkpoints_written
+            out["recovered_events"] = self.recovered_events
+        return out
 
 
 class SessionRouter:
@@ -361,7 +510,7 @@ class SessionRouter:
         unwindowed (eviction would be unsound — see
         :class:`~repro.online.OnlineChecker`).
         """
-        if not _TENANT_NAME.match(name or ""):
+        if not _TENANT_NAME.match(name or "") or name in (".", ".."):
             raise TenantError(
                 f"bad tenant name {name!r} (want [A-Za-z0-9._-]{{1,64}})"
             )

@@ -66,6 +66,51 @@ class AcyclicGraphSolver:
         self._theory.register_edge(var, u, v)
         self._edges[var] = (u, v)
 
+    # -- persistence (checkpointed online checking) ---------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot of the Boolean side of the instance: the
+        variable pool, every clause added through :meth:`add_clause`,
+        the edge-variable registrations, and the clauses the underlying
+        CDCL solver has *learned* so far.
+
+        The graph side (vertices and static edges) is deliberately not
+        captured — callers rebuild it from their own source of truth
+        (the online checker re-derives static adjacency from its
+        restored closure, which is a superset of the edges this
+        instance had and therefore sound; see DESIGN.md S14).
+        """
+        return {
+            "num_vars": self.num_vars,
+            "clauses": [list(clause) for clause in self._clauses],
+            "edges": [[var, u, v] for var, (u, v) in self._edges.items()],
+            "learned": [list(clause)
+                        for clause in self._solver.learned_clauses],
+        }
+
+    @classmethod
+    def import_state(cls, state: dict, num_vertices: int,
+                     static_adj=None) -> "AcyclicGraphSolver":
+        """Rebuild an instance from :meth:`export_state` output.
+
+        Edge variables are registered before any clause is added so
+        unit propagation at the root already sees them as theory
+        atoms.  Learned clauses are re-added as *ordinary* clauses:
+        each one is implied by the original formula (that is what
+        "learned" means), so strengthening the clause database with
+        them preserves the solution set while carrying the conflict
+        knowledge across the restart.
+        """
+        out = cls(num_vertices, static_adj)
+        out.ensure_vars(state["num_vars"])
+        for var, u, v in state["edges"]:
+            out.add_edge(var, u, v)
+        for clause in state["clauses"]:
+            out.add_clause(list(clause))
+        for clause in state["learned"]:
+            out.add_clause(list(clause))
+        return out
+
     # -- incremental growth (online checking) --------------------------------
 
     def add_vertex(self) -> int:

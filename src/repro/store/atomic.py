@@ -1,0 +1,109 @@
+"""Crash-safe file publication primitives.
+
+Everything the store (and, since this module exists, the history codec
+and bench reports too) writes to disk goes through one door:
+
+- :func:`atomic_write_text` / :func:`atomic_write_json` — write to a
+  ``.tmp`` sibling, ``fsync`` it, then ``os.replace`` onto the final
+  name.  POSIX rename is atomic within a filesystem, so a reader (or a
+  process that crashed mid-write and restarted) either sees the old
+  complete file or the new complete file — never a truncated one.
+- :func:`fsync_dir` — after a replace, the *directory entry* itself is
+  only durable once the directory is fsynced; callers that need the
+  rename to survive power loss (checkpoint publication) call this too.
+- :func:`crc32_of` — the checksum the segment manifest records per
+  segment, so a torn or bit-rotted segment is detected on open instead
+  of silently feeding garbage events into a checker.
+
+The tmp name embeds the pid so two processes racing to publish the same
+path cannot stomp each other's tmp file; the *last* ``os.replace`` wins,
+which is the same last-writer-wins the plain ``open(path, "w")`` had —
+minus the torn-file window.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Optional
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "fsync_dir",
+    "crc32_of",
+]
+
+
+def atomic_write_text(path: str, payload: str, *,
+                      sync_dir: bool = False) -> None:
+    """Atomically publish ``payload`` (UTF-8 text) at ``path``.
+
+    The data is fully written and fsynced to a temporary sibling before
+    the rename, so an interruption at any point leaves either the old
+    file or nothing — never a prefix.  Set ``sync_dir`` to also fsync
+    the containing directory (required for the rename itself to be
+    durable, e.g. checkpoint publication).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(directory,
+                       f".{os.path.basename(path)}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if sync_dir:
+        fsync_dir(directory)
+
+
+def atomic_write_json(path: str, obj, *, indent: Optional[int] = None,
+                      sort_keys: bool = False,
+                      sync_dir: bool = False) -> None:
+    """Atomically publish ``obj`` as JSON at ``path``.
+
+    Serialization happens *before* any file is touched, so an object
+    that fails to encode (the "write raises mid-stream" case) leaves
+    the previous file byte-identical.
+    """
+    payload = json.dumps(obj, indent=indent, sort_keys=sort_keys)
+    atomic_write_text(path, payload + "\n", sync_dir=sync_dir)
+
+
+def fsync_dir(directory: str) -> None:
+    """fsync a directory so renames/creates within it are durable.
+
+    Best-effort on platforms whose directories cannot be opened for
+    fsync (some network filesystems); failure to sync is not failure
+    to publish, so errors are swallowed.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def crc32_of(path: str) -> int:
+    """CRC-32 of a file's bytes (the manifest's per-segment checksum)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 16)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF

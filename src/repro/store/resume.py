@@ -1,0 +1,218 @@
+"""Checkpointed, resumable online checking over a segment store.
+
+:class:`PersistentCheck` is the one driver every layer shares:
+
+- ``repro watch --state-dir`` journals each streamed event before
+  checking it and checkpoints every N events;
+- ``repro check <state-dir>`` (and the facade's ``state_dir`` option)
+  replays a store's log — restoring the newest checkpoint first, so
+  only the tail is re-checked — and finishes;
+- each service-daemon tenant wraps one around its per-tenant store.
+
+The protocol (DESIGN.md S14):
+
+1. **Journal before check.**  :meth:`feed` appends the event to the
+   store (flushed — SIGKILL-durable) *before* the checker sees it, so
+   an accepted event is never lost: either it is in the log, or it was
+   never acknowledged.
+2. **Checkpoint at count k = state after first k events.**  The
+   snapshot is taken synchronously between events, so the pair
+   (checkpoint, log) is always consistent; a crash between a journal
+   append and the next checkpoint merely means more tail to replay.
+3. **Resume = restore + replay tail.**  Verdict equivalence to the
+   uninterrupted run is pinned by ``tests/test_resume.py``.
+
+A latched violation ends checkpointing (the checker refuses to
+snapshot a final verdict) but not journaling — the log stays the
+complete record of what was accepted, which is what the offline
+``repro check <state-dir>`` cross-check needs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Sequence
+
+from ..obs import current_metrics, trace_span
+from ..online.checker import OnlineChecker, OnlineResult
+from .segments import SegmentStore
+
+__all__ = ["PersistentCheck", "run_persistent_check"]
+
+
+class PersistentCheck:
+    """An :class:`~repro.online.OnlineChecker` bound to a
+    :class:`~repro.store.segments.SegmentStore`.
+
+    Parameters
+    ----------
+    store:
+        An open store, or a path (opened/created via
+        ``open_or_create``; ``store_kwargs`` are passed through).
+    resume:
+        Restore the newest checkpoint and replay only the log tail.
+        With ``resume=False`` the whole log is replayed from scratch
+        (the checkpoint files are ignored, not deleted).
+    checkpoint_every:
+        Checkpoint after every N journaled events (0 disables; a final
+        checkpoint is still written by :meth:`finish`).
+    checker_kwargs:
+        Passed to :class:`OnlineChecker` when no checkpoint is being
+        restored.  When one is, the checkpoint's own recorded
+        configuration wins — a resumed run must continue under the
+        rules it started with.
+    """
+
+    def __init__(self, store, *, resume: bool = True,
+                 checkpoint_every: int = 256,
+                 store_kwargs: Optional[dict] = None,
+                 **checker_kwargs):
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if isinstance(store, SegmentStore):
+            self.store = store
+            self._owns_store = False
+        else:
+            self.store = SegmentStore.open_or_create(
+                store, **(store_kwargs or {}))
+            self._owns_store = True
+        self.checkpoint_every = checkpoint_every
+        self.resumed_from = 0
+        self.replayed = 0
+        self.checkpoints_written = 0
+        self.restore_seconds = 0.0
+
+        checkpoint = self.store.latest_checkpoint() if resume else None
+        t0 = time.perf_counter()
+        if checkpoint is not None:
+            self.resumed_from, checker_state = checkpoint
+            self.checker = OnlineChecker.restore(checker_state)
+        else:
+            self.checker = OnlineChecker(**checker_kwargs)
+        self._replay_tail()
+        self.restore_seconds = time.perf_counter() - t0
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter("store.resumes").inc()
+            registry.gauge("store.replayed").set(self.replayed)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _replay_tail(self) -> None:
+        """Re-check every journaled event past the restored checkpoint."""
+        with trace_span("replay", start=self.resumed_from,
+                        total=self.store.total_events):
+            for _pos, event in self.store.iter_events(self.resumed_from):
+                self.replayed += 1
+                result = self.checker.add(event[0], event[1],
+                                          status=event[2])
+                if not result.satisfies_si:
+                    break
+
+    @property
+    def recovered_events(self) -> int:
+        """Events already in the log when this driver opened it."""
+        return self.resumed_from + self.replayed
+
+    def result(self) -> OnlineResult:
+        """Verdict so far, with the persistence block in ``stats``."""
+        return self._decorate(self.checker.result())
+
+    def feed(self, session: int, ops: Sequence, *, status: str = "committed",
+             ts=None) -> OnlineResult:
+        """Journal one event, check it, maybe checkpoint.
+
+        The append happens first — by the time the checker (or anything
+        after it) can fail, the event is already durable.
+        """
+        self.store.append_event((session, ops, status, ts))
+        result = self.checker.add(session, ops, status=status)
+        self._maybe_checkpoint()
+        return self._decorate(result)
+
+    def feed_events(self, events: Iterable[Sequence]) -> OnlineResult:
+        """Journal and check a ``(session, ops, status[, ts])`` stream."""
+        result = self.result()
+        for event in events:
+            ts = event[3] if len(event) > 3 else None
+            result = self.feed(event[0], event[1], status=event[2], ts=ts)
+        return result
+
+    def finish(self) -> OnlineResult:
+        """End-of-stream verdict; writes a final checkpoint when the
+        stream is still healthy (so a later ``--resume`` is instant)."""
+        result = self.checker.finish()
+        if result.satisfies_si:
+            self._checkpoint()
+        return self._decorate(result)
+
+    def close(self) -> None:
+        """Close the store (only if this driver opened it)."""
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "PersistentCheck":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        if not self.checkpoint_every:
+            return
+        if self.store.total_events % self.checkpoint_every == 0:
+            self._checkpoint()
+
+    def _checkpoint(self) -> bool:
+        """Snapshot the checker at the current log position.
+
+        No-op (returns False) once a violation has latched: the verdict
+        is final and :meth:`OnlineChecker.snapshot` refuses.
+        """
+        if self.checker.result().satisfies_si is False:
+            return False
+        events = self.store.total_events
+        with trace_span("checkpoint", events=events):
+            state = self.checker.snapshot()
+            self.store.save_checkpoint(events, state)
+        self.checkpoints_written += 1
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter("store.checkpoints").inc()
+        return True
+
+    def _decorate(self, result: OnlineResult) -> OnlineResult:
+        result.stats["persistence"] = {
+            "state_dir": self.store.path,
+            "journaled_events": self.store.total_events,
+            "segments": self.store.segments,
+            "resumed_from": self.resumed_from,
+            "replayed": self.replayed,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_every": self.checkpoint_every,
+            "restore_seconds": self.restore_seconds,
+        }
+        return result
+
+
+def run_persistent_check(path: str, events: Optional[Iterable] = None,
+                         *, resume: bool = True, checkpoint_every: int = 256,
+                         store_kwargs: Optional[dict] = None,
+                         **checker_kwargs) -> OnlineResult:
+    """One-shot persistent check of a state directory.
+
+    With ``events`` — journal + check them (after recovering whatever
+    the log already holds), then finish.  Without — re-derive the
+    verdict of the journaled log alone: restore the newest checkpoint,
+    replay the tail segment by segment (the log never needs to fit in
+    memory), finish.  This is what ``repro check <state-dir>`` runs.
+    """
+    with PersistentCheck(path, resume=resume,
+                         checkpoint_every=checkpoint_every,
+                         store_kwargs=store_kwargs,
+                         **checker_kwargs) as check:
+        if events is not None:
+            check.feed_events(events)
+        return check.finish()

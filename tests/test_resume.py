@@ -1,0 +1,293 @@
+"""Resume equivalence: snapshot/restore never changes a verdict.
+
+The soundness contract of DESIGN.md S14, pinned as properties:
+
+- **Snapshot/restore identity** — an :class:`OnlineChecker` restored
+  from ``snapshot()`` at *any* transaction boundary and fed the rest of
+  the stream reaches the same verdict, the same anomaly set, and the
+  same known-edge count as the uninterrupted checker — on random
+  histories, on the known-anomaly corpus, under windowed eviction, and
+  across closure backends (a python snapshot restored onto the numpy
+  backend and vice versa).
+- **Journal + checkpoint recovery** — a :class:`PersistentCheck`
+  interrupted at any point and reopened on the same state directory
+  converges to the uninterrupted verdict, replaying only the log tail
+  past the newest checkpoint.
+- A latched violation is never checkpointed, and the journaled log
+  alone re-derives the violation (``run_persistent_check(path)``).
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.api import CheckerError
+from repro.histories.codec import history_to_events
+from repro.online import OnlineChecker, WindowPolicy
+from repro.store import PersistentCheck, run_persistent_check
+from repro.utils.closure import available_closure_backends
+from repro.workloads import WorkloadParams, generate_history
+from repro.workloads.corpus import known_anomaly_corpus
+from repro.workloads.random_histories import random_history
+
+from _helpers import lost_update_history
+
+
+def _events_for(history):
+    return history_to_events(history)
+
+
+def _drive(checker, events):
+    """Feed all events; returns the final result (violations latch, so
+    feeding past one is harmless and mirrors the service's behavior)."""
+    result = checker.result()
+    for event in events:
+        result = checker.add(event[0], event[1], status=event[2])
+    return checker.finish()
+
+
+def _fingerprint(checker, result):
+    anomalies = sorted(type(a).__name__ for a in result.anomalies)
+    return {
+        "verdict": result.satisfies_si,
+        "decided_by": result.decided_by if not result.satisfies_si else None,
+        "anomalies": anomalies,
+        "accepted": result.stats.get("accepted"),
+        "known_edges": len(checker._known_edges),
+    }
+
+
+def _resumed_fingerprint(events, split, **checker_kwargs):
+    """Run ``events`` with a snapshot/restore break after ``split``."""
+    first = OnlineChecker(**checker_kwargs)
+    for event in events[:split]:
+        result = first.add(event[0], event[1], status=event[2])
+        if not result.satisfies_si:
+            return None  # violated before the split: nothing to restore
+    state = first.snapshot()
+    second = OnlineChecker.restore(state)
+    result = _drive(second, events[split:])
+    return _fingerprint(second, result)
+
+
+def _random_events(seed, *, sessions=4, txns=5, abort_prob=0.1):
+    """Unconstrained fuzz events — roughly half violate SI."""
+    history = random_history(
+        random.Random(seed), sessions=sessions, txns_per_session=txns,
+        max_ops=4, keys=6, read_initial_prob=0.2, abort_prob=abort_prob,
+    )
+    return _events_for(history)
+
+
+def _valid_events(seed, *, sessions=3, txns=6):
+    """Events from an executed snapshot-isolation workload — satisfiable."""
+    history = generate_history(
+        WorkloadParams(sessions=sessions, txns_per_session=txns,
+                       ops_per_txn=4, keys=8, read_proportion=0.5),
+        seed=seed, isolation="snapshot",
+    ).history
+    return _events_for(history)
+
+
+class TestSnapshotRestoreEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_histories_every_third_boundary(self, seed):
+        events = _random_events(seed)
+        baseline = OnlineChecker()
+        fingerprint = _fingerprint(baseline, _drive(baseline, events))
+        for split in range(1, len(events), 3):
+            resumed = _resumed_fingerprint(events, split)
+            if resumed is None:
+                break
+            assert resumed == fingerprint, f"seed={seed} split={split}"
+
+    def test_anomaly_corpus_resumes_to_the_same_violation(self):
+        for index, (name, history) in enumerate(
+                known_anomaly_corpus(18, seed=3)):
+            events = _events_for(history)
+            baseline = OnlineChecker()
+            fingerprint = _fingerprint(baseline, _drive(baseline, events))
+            assert fingerprint["verdict"] is False, name
+            for split in (1, len(events) // 2, len(events) - 1):
+                if split < 1:
+                    continue
+                resumed = _resumed_fingerprint(events, split)
+                if resumed is None:
+                    continue  # the violation latched before this split
+                assert resumed == fingerprint, f"#{index} {name} @{split}"
+
+    def test_windowed_checker_resumes_identically(self):
+        events = _random_events(11, sessions=4, txns=8)
+        kwargs = dict(window=WindowPolicy(max_live=8, gc_every=4),
+                      sessions=range(4))
+        baseline = OnlineChecker(**kwargs)
+        fingerprint = _fingerprint(baseline, _drive(baseline, events))
+        for split in range(2, len(events), 5):
+            resumed = _resumed_fingerprint(events, split, **kwargs)
+            if resumed is None:
+                break
+            assert resumed == fingerprint, f"split={split}"
+
+    @pytest.mark.skipif("numpy" not in available_closure_backends(),
+                        reason="numpy backend unavailable")
+    @pytest.mark.parametrize("src,dst", [("python", "numpy"),
+                                         ("numpy", "python")])
+    def test_snapshot_restores_across_closure_backends(self, src, dst):
+        """A checkpoint written under one closure backend restores onto
+        the other: int rows are the interchange format."""
+        events = _events_for(lost_update_history())
+        split = max(1, len(events) // 2)
+        first = OnlineChecker(closure_backend=src)
+        for event in events[:split]:
+            first.add(event[0], event[1], status=event[2])
+        state = first.snapshot()
+        state["config"]["closure_backend"] = dst
+        second = OnlineChecker.restore(state)
+        result = _drive(second, events[split:])
+        baseline = OnlineChecker(closure_backend=dst)
+        expected = _drive(baseline, events)
+        assert result.satisfies_si == expected.satisfies_si is False
+        assert (sorted(type(a).__name__ for a in result.anomalies)
+                == sorted(type(a).__name__ for a in expected.anomalies))
+
+    def test_snapshot_refuses_a_latched_violation(self):
+        checker = OnlineChecker()
+        result = _drive(checker, _events_for(lost_update_history()))
+        assert result.satisfies_si is False
+        with pytest.raises(ValueError):
+            checker.snapshot()
+
+
+class TestPersistentCheck:
+    def test_interrupted_run_converges_to_uninterrupted_verdict(
+            self, tmp_path):
+        events = _valid_events(21)
+        baseline = OnlineChecker()
+        expected = _fingerprint(baseline, _drive(baseline, events))
+
+        split = len(events) // 2
+        with PersistentCheck(str(tmp_path / "s"),
+                             checkpoint_every=4) as first:
+            first.feed_events(events[:split])
+        # "Crash": the first driver goes away without finish();
+        # reopening recovers from the newest checkpoint + tail replay.
+        with PersistentCheck(str(tmp_path / "s"),
+                             checkpoint_every=4) as second:
+            assert second.recovered_events == split
+            assert second.resumed_from > 0  # a checkpoint was used
+            assert second.replayed == split - second.resumed_from
+            second.feed_events(events[split:])
+            result = second.finish()
+            got = _fingerprint(second.checker, result)
+        assert got == expected
+        persistence = result.stats["persistence"]
+        assert persistence["journaled_events"] == len(events)
+
+    def test_resume_false_replays_the_whole_log(self, tmp_path):
+        events = _valid_events(22)
+        with PersistentCheck(str(tmp_path / "s"),
+                             checkpoint_every=3) as first:
+            first.feed_events(events)
+            first.finish()
+        with PersistentCheck(str(tmp_path / "s"), resume=False) as again:
+            assert again.resumed_from == 0
+            assert again.replayed == len(events)
+            assert again.finish().satisfies_si
+
+    def test_checkpoint_zero_disables_periodic_checkpoints(self, tmp_path):
+        events = _valid_events(23)
+        with PersistentCheck(str(tmp_path / "s"),
+                             checkpoint_every=0) as check:
+            check.feed_events(events)
+            assert check.store.checkpoints() == []
+            check.finish()  # the final checkpoint still lands
+            assert check.store.checkpoints() == [len(events)]
+
+    def test_violation_is_never_checkpointed_but_stays_journaled(
+            self, tmp_path):
+        events = _events_for(lost_update_history())
+        with PersistentCheck(str(tmp_path / "s"),
+                             checkpoint_every=1) as check:
+            result = check.feed_events(events)
+            assert result.satisfies_si is False
+            check.finish()
+            journaled = check.store.total_events
+            checkpoints = check.store.checkpoints()
+        assert journaled == len(events)
+        # Only checkpoints from before the latch may exist; the offline
+        # recheck of the journal alone re-derives the violation.
+        result = run_persistent_check(str(tmp_path / "s"))
+        assert result.satisfies_si is False
+        for count in checkpoints:
+            assert count < journaled
+
+    def test_offline_recheck_of_a_clean_journal(self, tmp_path):
+        events = _valid_events(24)
+        with PersistentCheck(str(tmp_path / "s")) as check:
+            check.feed_events(events)
+            check.finish()
+        result = run_persistent_check(str(tmp_path / "s"))
+        assert result.satisfies_si is True
+        assert result.stats["persistence"]["resumed_from"] == len(events)
+        assert result.stats["persistence"]["replayed"] == 0
+
+
+class TestFacadeAndCli:
+    def test_facade_state_dir_round_trip(self, tmp_path):
+        events = _valid_events(31)
+        from repro.histories.codec import history_from_events
+
+        history = history_from_events(events)
+        state = str(tmp_path / "s")
+        report = repro.check(history, mode="online", state_dir=state,
+                             checkpoint_every=8)
+        assert report.ok
+        persistence = report.stats["persistence"]
+        assert persistence["journaled_events"] == len(events)
+        # Subject None: the journaled log itself is the history.
+        again = repro.check(None, mode="online", state_dir=state)
+        assert again.ok
+        assert again.stats["persistence"]["resumed_from"] == len(events)
+
+    def test_state_dir_is_online_only(self, tmp_path):
+        with pytest.raises(CheckerError):
+            repro.check(lost_update_history(), mode="parallel",
+                        state_dir=str(tmp_path / "s"))
+
+    def test_negative_checkpoint_every_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            repro.check(lost_update_history(), mode="online",
+                        state_dir=str(tmp_path / "s"), checkpoint_every=-1)
+
+    def test_cli_check_accepts_a_state_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        events = _events_for(lost_update_history())
+        state = str(tmp_path / "s")
+        with PersistentCheck(state) as check:
+            check.feed_events(events)
+            check.finish()
+        assert main(["check", state]) == 1
+        out = capsys.readouterr().out
+        assert "state dir" in out
+
+    def test_cli_watch_state_dir_resumes_without_rejournaling(
+            self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.store import SegmentStore
+
+        state = str(tmp_path / "s")
+        argv = ["watch", "--sessions", "3", "--txns", "4", "--seed", "5",
+                "--report-every", "0", "--state-dir", state,
+                "--checkpoint-every", "6"]
+        assert main(argv) == 0
+        with SegmentStore(state, readonly=True) as store:
+            journaled = store.total_events
+        assert journaled > 0
+        capsys.readouterr()
+        assert main(argv) == 0  # same flags + seed: resumes, no re-append
+        out = capsys.readouterr().out
+        assert f"resumed from {state}" in out
+        with SegmentStore(state, readonly=True) as store:
+            assert store.total_events == journaled

@@ -1,0 +1,215 @@
+"""Service-layer persistence: per-tenant journals, checkpoints, and
+daemon recovery (``repro serve --state-dir``).
+
+The contract under test: an event is acknowledged only after it is in
+the tenant's journal, so a daemon killed with SIGKILL loses no accepted
+event — a restart on the same state directory recovers every tenant's
+verdict (restoring the newest checkpoint and replaying the log tail)
+without any client resending anything it was acked for.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.core.history import R, W
+from repro.service import ReproService, ServiceClient, ServiceConfig
+from repro.store import StoreLocked
+
+
+def clean_events(n, *, start=0, sessions=3):
+    """``n`` committed write-only events on unique keys — trivially SI."""
+    return [(i % sessions, (W(f"k{i}", i + 1),), "committed")
+            for i in range(start, start + n)]
+
+
+def violating_events():
+    """Session 0 overwrites ``x`` then claims to read the initial
+    value: an immediate own-session visibility violation."""
+    return [(0, (W("x", 1),), "committed"),
+            (0, (R("x", None),), "committed")]
+
+
+@pytest.fixture
+def service(tmp_path):
+    """Factory fixture like test_service's, defaulting to a state dir."""
+    handles = []
+    state_dir = str(tmp_path / "state")
+
+    def start(**kwargs):
+        kwargs.setdefault("http_port", 0)
+        kwargs.setdefault("tcp_port", None)
+        kwargs.setdefault("state_dir", state_dir)
+        svc = ReproService(ServiceConfig(**kwargs))
+        handle = svc.start_in_thread()
+        handles.append(handle)
+        client = ServiceClient("127.0.0.1", handle.http_port)
+        return svc, handle, client
+
+    start.state_dir = state_dir
+    yield start
+    for handle in handles:
+        if handle.thread.is_alive():
+            handle.stop()
+
+
+class TestTenantPersistence:
+    def test_verdict_carries_the_persistence_block(self, service):
+        _, handle, client = service(checkpoint_every=5)
+        client.push_events("alpha", clean_events(12), sessions=3)
+        verdicts = handle.drain()
+        alpha = verdicts["alpha"]
+        assert alpha["report"]["verdict"] == "satisfied"
+        persistence = alpha["persistence"]
+        assert persistence["journaled_events"] == 12
+        assert persistence["resumed_from"] == 0
+        # Periodic checkpoints at 5 and 10, plus the final one at drain.
+        assert persistence["checkpoints_written"] == 3
+        assert os.path.isdir(os.path.join(service.state_dir, "tenants",
+                                          "alpha"))
+
+    def test_clean_restart_recovers_every_tenant(self, service):
+        _, first, client = service(checkpoint_every=5)
+        client.push_events("alpha", clean_events(12), sessions=3)
+        client.push_events("beta", violating_events())
+        verdicts = first.drain()
+        assert verdicts["alpha"]["report"]["verdict"] == "satisfied"
+        assert verdicts["beta"]["report"]["verdict"] != "satisfied"
+        first.stop()
+
+        _, second, client = service(checkpoint_every=5)
+        verdicts = client.verdicts()
+        assert set(verdicts) == {"alpha", "beta"}
+        alpha, beta = verdicts["alpha"], verdicts["beta"]
+        assert alpha["report"]["verdict"] == "satisfied"
+        assert alpha["events"] == 12
+        # The clean drain checkpointed at 12: recovery restores it and
+        # replays nothing.
+        assert alpha["persistence"]["resumed_from"] == 12
+        assert alpha["persistence"]["recovered_events"] == 12
+        assert beta["report"]["verdict"] != "satisfied"
+
+        # Recovered tenants keep accepting events.
+        client.push_events("alpha", clean_events(6, start=12), sessions=3)
+        verdicts = second.drain()
+        assert verdicts["alpha"]["events"] == 18
+        assert verdicts["alpha"]["report"]["verdict"] == "satisfied"
+        assert verdicts["alpha"]["persistence"]["journaled_events"] == 18
+
+    def test_recovered_violation_latches_and_still_rejects_resume_lies(
+            self, service):
+        _, first, client = service()
+        client.push_events("beta", violating_events())
+        first.drain()
+        first.stop()
+        _, _, client = service()
+        beta = client.verdict("beta")
+        assert beta["report"]["verdict"] != "satisfied"
+        assert beta["persistence"]["resumed_from"] == 0  # never checkpointed
+        assert beta["persistence"]["recovered_events"] == 2
+
+    def test_live_state_dir_is_locked_against_a_second_daemon(self, service):
+        _, _, client = service()
+        client.push_events("alpha", clean_events(3), sessions=3)
+        with pytest.raises(StoreLocked):
+            ReproService(ServiceConfig(
+                http_port=0, tcp_port=None,
+                state_dir=service.state_dir)).start_in_thread()
+
+    def test_offline_facade_agrees_with_the_recovered_daemon(self, service):
+        _, first, client = service()
+        client.push_events("alpha", clean_events(10), sessions=3)
+        client.push_events("beta", violating_events())
+        first.drain()
+        first.stop()
+        alpha = repro.check(None, mode="online", state_dir=os.path.join(
+            service.state_dir, "tenants", "alpha"))
+        beta = repro.check(None, mode="online", state_dir=os.path.join(
+            service.state_dir, "tenants", "beta"))
+        assert alpha.ok
+        assert not beta.ok
+
+
+class TestCrashRecovery:
+    """SIGKILL the real subprocess daemon mid-stream; restart; nothing
+    acknowledged is lost."""
+
+    @staticmethod
+    def _spawn(state_dir):
+        repo_src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(repo_src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--tcp-port", "-1", "--state-dir", state_dir,
+             "--checkpoint-every", "10"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+        if not match:
+            proc.kill()
+            pytest.fail(f"no port banner: {line!r} {proc.stdout.read()!r}")
+        return proc, int(match.group(1))
+
+    @staticmethod
+    def _wait_for_quiesce(client, tenant, events, deadline=10.0):
+        """Poll /stats until the tenant's worker has checked ``events``."""
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            stats = {t["tenant"]: t for t in client.stats()["tenants"]}
+            if stats.get(tenant, {}).get("events") == events:
+                return stats[tenant]
+            time.sleep(0.05)
+        pytest.fail(f"{tenant} never reached {events} events")
+
+    def test_sigkill_then_restart_loses_no_acked_event(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        proc, port = self._spawn(state_dir)
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            client.push_events("alpha", clean_events(25), sessions=3)
+            client.push_events("beta", violating_events())
+            alpha = self._wait_for_quiesce(client, "alpha", 25)
+            self._wait_for_quiesce(client, "beta", 2)
+            assert alpha["checkpoints_written"] == 2  # at 10 and 20
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+
+        proc, port = self._spawn(state_dir)
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            verdicts = client.verdicts()
+            assert set(verdicts) == {"alpha", "beta"}
+            alpha, beta = verdicts["alpha"], verdicts["beta"]
+            assert alpha["report"]["verdict"] == "satisfied"
+            assert alpha["events"] == 25
+            assert alpha["persistence"]["resumed_from"] == 20
+            assert alpha["persistence"]["recovered_events"] == 25
+            assert beta["report"]["verdict"] != "satisfied"
+
+            # Keep streaming into the recovered tenant, then drain.
+            client.push_events("alpha", clean_events(5, start=25),
+                               sessions=3)
+            final = client.shutdown()
+            assert final["alpha"]["events"] == 30
+            assert final["alpha"]["report"]["verdict"] == "satisfied"
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        # Offline cross-check straight off the journals.
+        report = repro.check(None, mode="online", state_dir=os.path.join(
+            state_dir, "tenants", "alpha"))
+        assert report.ok
+        assert report.stats["persistence"]["journaled_events"] == 30
